@@ -1,0 +1,34 @@
+"""Ablation: the task-batch size C (paper default 150).
+
+C controls refill granularity, queue capacity (3C) and spill unit; the
+paper picked C=150 as the high-throughput point.  We sweep C on a fixed
+workload and report virtual time plus spill counts.
+"""
+
+from repro.bench import bench_config, emit, format_seconds, render_table
+from repro.apps import MaxCliqueComper
+from repro.graph import make_dataset
+from repro.sim import run_simulated_job
+
+
+def test_batch_size_sweep(benchmark):
+    g = make_dataset("friendster", scale=1.0)
+    rows = []
+
+    def run_all():
+        for c in (2, 8, 32, 128):
+            r = run_simulated_job(
+                MaxCliqueComper, g, bench_config(2, 4, task_batch_size=c)
+            )
+            rows.append([
+                c,
+                format_seconds(r.virtual_time_s),
+                int(r.metrics.get("tasks:spilled", 0)),
+            ])
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(render_table("Ablation - task batch size C (MCF, friendster-like, 2x4)",
+                      ["C", "time", "tasks spilled"], rows),
+         out_path="benchmarks/results/ablation_batch_size.txt")
+    assert len(rows) == 4

@@ -1,0 +1,70 @@
+"""Ablation: bucketed vertex cache vs a single-lock cache.
+
+G-Miner's RCV cache is one list under one lock; G-thinker's T_cache is
+k mutex-protected buckets (k=10,000 in the paper).  This microbench
+drives the same mixed OP1/OP3 workload from several threads at
+different bucket counts.  Under CPython the GIL serializes bytecode, so
+absolute speedups are muted — the measured signal is lock handoff and
+contention overhead, which still falls sharply with k.
+"""
+
+import threading
+
+from repro.bench import emit, render_table
+from repro.core.vertex_cache import VertexCache
+
+OPS_PER_THREAD = 4000
+THREADS = 4
+
+
+def _drive(cache: VertexCache, thread_id: int) -> None:
+    base = thread_id * OPS_PER_THREAD
+    for i in range(OPS_PER_THREAD):
+        v = base + i
+        out = cache.request(v, task_id=thread_id)
+        assert out.status == "miss_send"
+        cache.insert_response(v, 0, (1, 2, 3))
+        entry = cache.get_locked(v)
+        assert entry.vid == v
+        cache.release(v)
+    cache.flush_local_counter()
+
+
+def _run_with_buckets(num_buckets: int) -> float:
+    import time
+
+    cache = VertexCache(
+        num_buckets=num_buckets,
+        capacity=10 * THREADS * OPS_PER_THREAD,
+        overflow_alpha=0.2,
+    )
+    threads = [
+        threading.Thread(target=_drive, args=(cache, t)) for t in range(THREADS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    cache.check_invariants()
+    return THREADS * OPS_PER_THREAD / elapsed
+
+
+def test_cache_bucket_ablation(benchmark):
+    rows = []
+    results = {}
+
+    def run_all():
+        for k in (1, 16, 256, 4096):
+            results[k] = _run_with_buckets(k)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for k, ops in sorted(results.items()):
+        label = "single lock (G-Miner-style)" if k == 1 else f"{k} buckets"
+        rows.append([label, f"{ops:,.0f} ops/s"])
+    emit(render_table("Ablation - cache bucket count (4 threads)",
+                      ["configuration", "throughput"], rows),
+         out_path="benchmarks/results/ablation_cache_buckets.txt")
+    assert results[256] > 0 and results[1] > 0

@@ -1,0 +1,36 @@
+"""Ablation: the pending-task threshold D (paper default 8C).
+
+D bounds |T_task| + |B_task| before a comper stops popping new tasks;
+too small starves the pipeline (no tasks in flight to hide latency),
+too large admits unbounded memory.  Swept on a remote-pull-heavy TC
+workload.
+"""
+
+from repro.bench import bench_config, emit, format_seconds, render_table
+from repro.apps import TriangleCountComper
+from repro.graph import make_dataset
+from repro.sim import run_simulated_job
+
+
+def test_pending_threshold_sweep(benchmark):
+    g = make_dataset("skitter", scale=1.0)
+    rows = []
+
+    def run_all():
+        for d in (1, 8, 64, 512):
+            r = run_simulated_job(
+                TriangleCountComper, g, bench_config(4, 4, pending_threshold=d)
+            )
+            rows.append([
+                d,
+                format_seconds(r.virtual_time_s),
+                int(r.metrics.get("comper:pop_blocked_pending", 0)),
+            ])
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(render_table("Ablation - pending threshold D (TC, skitter-like, 4x4)",
+                      ["D", "time", "pop-blocked rounds"], rows),
+         out_path="benchmarks/results/ablation_pending_threshold.txt")
+    blocked = [r[2] for r in rows]
+    assert blocked[0] >= blocked[-1]

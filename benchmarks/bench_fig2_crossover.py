@@ -1,0 +1,18 @@
+"""Fig. 2: IO cost is linear in |g|, CPU mining cost superlinear.
+
+The crossover justifies G-thinker's whole design: past a modest |g| the
+CPU side dominates, so communication can hide under computation.
+"""
+
+from repro.bench import fig2_crossover
+
+
+def test_fig2_crossover(run_table):
+    headers, rows = run_table(
+        "fig2", "Fig. 2 - IO (materialize g) vs CPU (mine g) by subgraph size",
+        fig2_crossover,
+    )
+    ratios = [float(r[3]) for r in rows]
+    # CPU/IO ratio must grow with |g| and eventually exceed 1.
+    assert ratios[-1] > 5.0
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,29 @@
+"""Microbenchmarks of the serial mining kernels (pytest-benchmark proper)."""
+
+from repro.algorithms import count_triangles, max_clique, count_matches, triangle_query
+from repro.graph import erdos_renyi, intersect_sorted_count, make_dataset
+
+
+def test_intersect_sorted_count(benchmark):
+    a = tuple(range(0, 4000, 2))
+    b = tuple(range(0, 4000, 3))
+    result = benchmark(intersect_sorted_count, a, b)
+    assert result == len(set(a) & set(b))
+
+
+def test_max_clique_kernel(benchmark):
+    g = erdos_renyi(120, 0.25, seed=1)
+    clique = benchmark(max_clique, g.adjacency())
+    assert len(clique) >= 3
+
+
+def test_triangle_count_kernel(benchmark):
+    g = make_dataset("orkut", scale=0.5)
+    n = benchmark(count_triangles, g)
+    assert n > 0
+
+
+def test_match_kernel(benchmark):
+    g = make_dataset("youtube", scale=0.3, labeled=3)
+    q = triangle_query(labels={0: 0, 1: 1, 2: 2})
+    benchmark.pedantic(count_matches, args=(g, q), rounds=3, iterations=1)

@@ -1,0 +1,13 @@
+"""Sec. VI text: RStream and Nuri vs single-machine G-thinker."""
+
+from repro.bench import single_machine_comparison
+
+
+def test_single_machine_comparison(run_table):
+    headers, rows = run_table(
+        "single_machine", "Single-machine systems (RStream / Nuri) vs 1-machine G-thinker",
+        single_machine_comparison,
+    )
+    # RStream exhausts disk on the big graphs, as in the paper.
+    big = {r[1]: r[2] for r in rows if r[1] in ("btc", "friendster")}
+    assert all(cell == "used up all disk space" for cell in big.values())

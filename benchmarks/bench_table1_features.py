@@ -1,0 +1,13 @@
+"""Table I: feature comparison of subgraph-centric systems."""
+
+from repro.bench import table1_features
+
+
+def test_table1_features(run_table):
+    headers, rows = run_table(
+        "table1", "Table I - Feature comparison (desirabilities D1-D7)",
+        table1_features,
+    )
+    by_system = {r[0]: r[1:] for r in rows}
+    assert all(mark == "yes" for mark in by_system["gthinker"])
+    assert "no" in by_system["gminer"]

@@ -1,0 +1,14 @@
+"""Table IV(a): horizontal scalability (MCF, friendster stand-in)."""
+
+from repro.bench import table4a_horizontal
+
+
+def test_table4a_horizontal(run_table):
+    headers, rows = run_table(
+        "table4a", "Table IV(a) - Horizontal scaling, MCF on friendster-like (16 compers/machine)",
+        table4a_horizontal,
+    )
+    assert [r[0] for r in rows] == [1, 2, 4, 8, 16]
+    # The paper's G-Miner partitioner fails below 4 machines.
+    assert rows[0][1] == "Partitioning Error"
+    assert rows[1][1] == "Partitioning Error"

@@ -1,0 +1,11 @@
+"""Table IV(b): vertical scalability at 16 machines."""
+
+from repro.bench import table4b_vertical
+
+
+def test_table4b_vertical(run_table):
+    headers, rows = run_table(
+        "table4b", "Table IV(b) - Vertical scaling, 16 machines, MCF on friendster-like",
+        table4b_vertical,
+    )
+    assert [r[0] for r in rows] == [1, 2, 4, 8, 16]

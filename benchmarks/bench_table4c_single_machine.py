@@ -1,0 +1,17 @@
+"""Table IV(c): single-machine vertical scaling (near-linear speedup)."""
+
+from repro.bench import table4c_single_machine
+
+
+def test_table4c_single_machine(run_table):
+    headers, rows = run_table(
+        "table4c", "Table IV(c) - Single machine, MCF on friendster-like",
+        table4c_single_machine,
+    )
+    speedups = [float(r[2].rstrip("x")) for r in rows]
+    # Paper: "almost linear speedup" — monotone, and clearly parallel.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 3.0
+    # No impossible superlinear artifacts.
+    compers = [r[0] for r in rows]
+    assert all(s <= c * 1.3 for s, c in zip(speedups, compers))

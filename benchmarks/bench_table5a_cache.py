@@ -1,0 +1,13 @@
+"""Table V(a): effect of the vertex-cache capacity c_cache."""
+
+from repro.bench import table5a_cache_capacity
+
+
+def test_table5a_cache_capacity(run_table):
+    headers, rows = run_table(
+        "table5a", "Table V(a) - Effect of c_cache (TC on skitter-like, 4 machines)",
+        table5a_cache_capacity,
+    )
+    evictions = [r[3] for r in rows]
+    # Smaller caches must evict more (the paper's trade-off).
+    assert evictions[-1] > evictions[0]

@@ -1,0 +1,11 @@
+"""Table V(b): effect of the GC overflow-tolerance alpha."""
+
+from repro.bench import table5b_alpha
+
+
+def test_table5b_alpha(run_table):
+    headers, rows = run_table(
+        "table5b", "Table V(b) - Effect of overflow tolerance alpha",
+        table5b_alpha,
+    )
+    assert [r[0] for r in rows] == [0.002, 0.02, 0.2, 2.0]

@@ -1,0 +1,34 @@
+"""Benchmark-suite helpers.
+
+Each benchmark runs one experiment driver exactly once under
+pytest-benchmark (``pedantic(rounds=1)``) — the drivers already time the
+*simulated* cluster internally; pytest-benchmark records the wall cost
+of regenerating the table.  Rendered tables are printed and persisted
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import emit, render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_table(benchmark):
+    """Run a (headers, rows) driver once; print + persist the table."""
+
+    def runner(name: str, title: str, driver, *args, **kwargs):
+        headers_rows = benchmark.pedantic(
+            driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        headers, rows = headers_rows
+        text = render_table(title, headers, rows)
+        emit(text, out_path=str(RESULTS_DIR / f"{name}.txt"))
+        return headers, rows
+
+    return runner

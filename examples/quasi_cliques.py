@@ -1,0 +1,46 @@
+"""Maximal quasi-clique mining — the paper's running API example.
+
+A task spawned from vertex v pulls its neighbors in iteration 1 and the
+second hop in iteration 2 (any two members of a gamma >= 0.5
+quasi-clique are within two hops), then mines the materialized ego
+network serially.  Each maximal gamma-quasi-clique is reported by the
+task of its smallest member, so the union over tasks has no duplicates.
+
+Run:  python examples/quasi_cliques.py
+"""
+
+from repro import GThinkerConfig, run_job
+from repro.apps import QuasiCliqueComper
+from repro.graph import dataset_stats, erdos_renyi, plant_cliques
+
+
+def main() -> None:
+    # Quasi-clique enumeration is exponential in the 2-hop ego size, so
+    # the demo uses a sparse background (the planted groups carry the
+    # signal).
+    base = erdos_renyi(80, 0.05, seed=42)
+    graph, planted = plant_cliques(base, [7, 6], seed=43)
+    print("graph:", dataset_stats(graph))
+    print("planted dense groups of sizes", [len(p) for p in planted])
+
+    gamma, min_size = 0.8, 5
+    config = GThinkerConfig(num_workers=3, compers_per_worker=2)
+    result = run_job(
+        lambda: QuasiCliqueComper(gamma=gamma, min_size=min_size), graph, config
+    )
+
+    print(f"\nmaximal {gamma}-quasi-cliques with >= {min_size} members: "
+          f"{result.aggregate}")
+    for qc in sorted(result.outputs, key=len, reverse=True)[:8]:
+        print(f"  size {len(qc)}: {qc}")
+
+    # The planted cliques (or supersets of them) must be among the results.
+    covered = sum(
+        1 for p in planted
+        if any(set(p) <= set(qc) for qc in result.outputs)
+    )
+    print(f"planted groups covered by results: {covered}/{len(planted)}")
+
+
+if __name__ == "__main__":
+    main()

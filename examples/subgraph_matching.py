@@ -1,0 +1,51 @@
+"""Labeled subgraph matching (the paper's GM application).
+
+Find all embeddings of a labeled pattern — here a "collaboration
+triangle with a follower": three mutually connected vertices of distinct
+roles, one of which has an extra same-role neighbor — in a labeled
+social graph.  Shows multi-iteration tasks: each task pulls one hop per
+iteration until the anchor's neighborhood is materialized.
+
+Run:  python examples/subgraph_matching.py
+"""
+
+from repro import GThinkerConfig, run_job
+from repro.algorithms import QueryGraph, count_matches
+from repro.apps import SubgraphMatchComper
+from repro.graph import dataset_stats, make_dataset
+
+
+def main() -> None:
+    graph = make_dataset("skitter", scale=0.3, labeled=3)
+    print("data graph:", dataset_stats(graph), "with 3 vertex labels")
+
+    #      0(role 0) --- 1(role 1)
+    #         \            /
+    #          2(role 2) --- 3(role 0)
+    query = QueryGraph(
+        [(0, 1), (1, 2), (0, 2), (2, 3)],
+        labels={0: 0, 1: 1, 2: 2, 3: 0},
+    )
+    print(f"query: {query.num_vertices} vertices, "
+          f"matching order {query.order}, "
+          f"symmetry-breaking constraints {query.symmetry_pairs}")
+
+    config = GThinkerConfig(num_workers=3, compers_per_worker=2)
+    labels = graph.labels()
+    result = run_job(
+        lambda: SubgraphMatchComper(query, data_labels=labels,
+                                    collect_embeddings=True),
+        graph,
+        config,
+    )
+
+    print(f"embeddings found: {result.aggregate}")
+    for emb in result.outputs[:5]:
+        print("  e.g.", {q: d for q, d in sorted(emb.items())})
+
+    assert result.aggregate == count_matches(graph, query)
+    print("matches the serial matcher - OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""Serial clique algorithms.
+
+Two roles in the reproduction:
+
+* :func:`max_clique` is the serial branch-and-bound miner that a
+  G-thinker task runs on its materialized subgraph ``t.g`` once the
+  subgraph is small enough (Fig. 5 line 12 — "run serial algorithm on
+  t.g, with current maximum clique size = |S_max| - |t.S|").  It follows
+  the classic Carraghan–Pardalos / [31]-style search: greedy coloring
+  upper bound plus incumbent pruning seeded from the aggregator.
+* :func:`enumerate_maximal_cliques` (Bron–Kerbosch with pivoting) and
+  :func:`max_clique_reference` are independent oracles used by tests.
+
+All functions operate on plain ``{v: sorted tuple}`` adjacency mappings
+so tasks can call them on locally materialized subgraphs without
+round-tripping through :class:`repro.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Graph, intersect_sorted
+
+__all__ = [
+    "max_clique",
+    "max_clique_reference",
+    "enumerate_maximal_cliques",
+    "greedy_coloring_bound",
+    "AdjMap",
+]
+
+AdjMap = Mapping[int, Sequence[int]]
+
+
+def _as_adj(g) -> Dict[int, Tuple[int, ...]]:
+    if isinstance(g, Graph):
+        return g.adjacency()
+    return {v: tuple(a) for v, a in g.items()}
+
+
+def greedy_coloring_bound(vertices: Sequence[int], adj: AdjMap) -> int:
+    """A greedy-coloring upper bound on the clique number of the induced graph.
+
+    Any clique needs one color per member, so the number of colors used
+    by *any* proper coloring bounds the maximum clique size from above.
+    """
+    color: Dict[int, int] = {}
+    vset = set(vertices)
+    max_color = 0
+    for v in sorted(vertices, key=lambda x: -len(adj.get(x, ()))):
+        used = {color[u] for u in adj.get(v, ()) if u in vset and u in color}
+        c = 0
+        while c in used:
+            c += 1
+        color[v] = c
+        max_color = max(max_color, c + 1)
+    return max_color
+
+
+def max_clique(
+    g,
+    lower_bound: int = 0,
+    initial: Sequence[int] = (),
+) -> Tuple[int, ...]:
+    """Find a maximum clique of ``g`` by branch-and-bound.
+
+    Parameters
+    ----------
+    g:
+        A :class:`~repro.graph.Graph` or a ``{v: sorted adjacency}``
+        mapping.
+    lower_bound:
+        A clique size already known to exist *elsewhere* (the paper's
+        :math:`\\Delta = |S_{max}| - |t.S|` pruning seed).  The search
+        only reports cliques strictly larger than this; if none exists
+        the empty tuple is returned.
+    initial:
+        Vertices assumed already in the clique (not part of ``g``);
+        only used to bias nothing — kept for signature parity with the
+        task-level caller which handles ``t.S`` itself.
+
+    Returns
+    -------
+    The vertex tuple of the best clique found that beats ``lower_bound``,
+    or ``()`` if the bound cannot be beaten.
+    """
+    adj = _as_adj(g)
+    if not adj:
+        return ()
+    best: List[int] = []
+    best_size = max(lower_bound, 0)
+
+    # Order candidates by degeneracy-ish heuristic: ascending degree for
+    # the outer loop gives small candidate sets early (cheap) and leaves
+    # the dense core for last, when the incumbent already prunes hard.
+    order = sorted(adj, key=lambda v: len(adj[v]))
+    position = {v: i for i, v in enumerate(order)}
+
+    def expand(clique: List[int], candidates: List[int]) -> None:
+        nonlocal best, best_size
+        if not candidates:
+            if len(clique) > best_size:
+                best_size = len(clique)
+                best = list(clique)
+            return
+        if len(clique) + len(candidates) <= best_size:
+            return
+        if len(clique) + greedy_coloring_bound(candidates, adj) <= best_size:
+            return
+        # Iterate candidates in reverse outer order so the candidate set
+        # shrinks monotonically (set-enumeration style, Fig. 1).
+        for i in range(len(candidates) - 1, -1, -1):
+            if len(clique) + i + 1 <= best_size:
+                break
+            v = candidates[i]
+            clique.append(v)
+            nbrs = set(adj[v])
+            nxt = [u for u in candidates[:i] if u in nbrs]
+            expand(clique, nxt)
+            clique.pop()
+
+    ordered = sorted(adj, key=lambda v: position[v])
+    expand([], ordered)
+    if best_size > max(lower_bound, 0) or (lower_bound <= 0 and best):
+        return tuple(sorted(best))
+    return ()
+
+
+def enumerate_maximal_cliques(g) -> Iterator[Tuple[int, ...]]:
+    """Bron–Kerbosch with pivoting; yields each maximal clique once.
+
+    Used as an oracle and by the Arabesque-style baseline's validation
+    path.  Iterative-friendly recursion depth: bounded by the graph's
+    degeneracy, fine for our test sizes.
+    """
+    adj = {v: set(a) for v, a in _as_adj(g).items()}
+
+    def bk(r: Set[int], p: Set[int], x: Set[int]) -> Iterator[Tuple[int, ...]]:
+        if not p and not x:
+            yield tuple(sorted(r))
+            return
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda u: len(adj[u] & p))
+        for v in list(p - adj[pivot]):
+            yield from bk(r | {v}, p & adj[v], x & adj[v])
+            p.remove(v)
+            x.add(v)
+
+    yield from bk(set(), set(adj), set())
+
+
+def max_clique_reference(g) -> Tuple[int, ...]:
+    """Oracle maximum clique via full Bron–Kerbosch enumeration."""
+    best: Tuple[int, ...] = ()
+    for c in enumerate_maximal_cliques(g):
+        if len(c) > len(best):
+            best = c
+    return best

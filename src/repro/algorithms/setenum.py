@@ -1,0 +1,67 @@
+"""The set-enumeration tree of Fig. 1.
+
+Subgraph mining's search space — the power set of ``V`` — is organized
+as a set-enumeration tree: node ``S`` is extended only by vertices
+larger than ``max(S)``, so every subset appears exactly once.  G-thinker
+tasks correspond to tree nodes; task decomposition walks one level down.
+
+This module is the didactic core used by tests and examples to validate
+the divide-and-conquer identities the whole system rests on:
+
+* every subset of ``V`` appears exactly once in the tree;
+* the children of ``S`` partition the subsets that strictly extend ``S``
+  with larger ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = ["children", "enumerate_subsets", "subtree_size", "clique_children"]
+
+
+def children(s: Sequence[int], universe: Sequence[int]) -> List[Tuple[int, ...]]:
+    """The child nodes of ``S`` in the set-enumeration tree over ``universe``."""
+    last = max(s) if s else None
+    out = []
+    for v in universe:
+        if last is None or v > last:
+            out.append(tuple(sorted(set(s) | {v})))
+    return out
+
+
+def enumerate_subsets(universe: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    """Depth-first traversal of the tree: every non-empty subset once."""
+    universe = sorted(universe)
+
+    def walk(s: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+        for child in children(s, universe):
+            yield child
+            yield from walk(child)
+
+    yield from walk(())
+
+
+def subtree_size(s: Sequence[int], universe: Sequence[int]) -> int:
+    """Number of tree nodes in the subtree rooted at ``S`` (including it)."""
+    last = max(s) if s else -float("inf")
+    extendable = sum(1 for v in universe if v > last)
+    return 2 ** extendable
+
+
+def clique_children(
+    s: Sequence[int], ext: Sequence[int], adjacency
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Clique-pruned decomposition: ``(S ∪ u, Gamma_>(S ∪ u))`` per ``u ∈ ext``.
+
+    ``ext`` must be ``Gamma_>(S)`` (common larger-id neighbors of ``S``);
+    each child's extension set is ``ext ∩ Gamma_>(u)``, exactly the
+    paper's recursive task decomposition for maximum clique (Sec. IV).
+    """
+    out = []
+    ext = sorted(ext)
+    for i, u in enumerate(ext):
+        nbrs = set(adjacency[u])
+        child_ext = tuple(w for w in ext[i + 1:] if w in nbrs)
+        out.append((tuple(sorted(set(s) | {u})), child_ext))
+    return out

@@ -1,0 +1,22 @@
+"""G-thinker applications (the paper's evaluated workloads)."""
+
+from .bundled_triangle import BundledTriangleCountComper
+from .common import GtTrimmer, LabelTrimmer
+from .maxclique import MaxCliqueComper
+from .maximalcliques import MaximalCliqueComper, maximal_cliques_containing_min
+from .match import SubgraphMatchComper, query_radius
+from .quasiclique import QuasiCliqueComper
+from .triangle import TriangleCountComper
+
+__all__ = [
+    "BundledTriangleCountComper",
+    "GtTrimmer",
+    "LabelTrimmer",
+    "MaxCliqueComper",
+    "MaximalCliqueComper",
+    "maximal_cliques_containing_min",
+    "SubgraphMatchComper",
+    "query_radius",
+    "QuasiCliqueComper",
+    "TriangleCountComper",
+]

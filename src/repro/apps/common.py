@@ -1,0 +1,41 @@
+"""Trimmers and helpers shared by the applications."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from ..core.api import Trimmer
+from ..graph.graph import adjacency_suffix_gt
+
+__all__ = ["GtTrimmer", "LabelTrimmer"]
+
+
+class GtTrimmer(Trimmer):
+    """Keep only larger-id neighbors: ``Γ(v) -> Γ_>(v)``.
+
+    The paper's set-enumeration trimming: "when following a search tree
+    as in Fig. 1, we can trim each vertex v's adjacency list Γ(v) into
+    Γ_>(v)".  Applied at load time it also halves response sizes.
+    """
+
+    def trim(self, v: int, label: int, adj: Tuple[int, ...]) -> Tuple[int, ...]:
+        return adjacency_suffix_gt(adj, v)
+
+
+class LabelTrimmer(Trimmer):
+    """Drop neighbors whose label cannot occur in the query graph.
+
+    The paper's subgraph-matching trimming: "vertices and edges in the
+    data graph whose labels do not appear in the query graph can be
+    safely pruned".  Needs the data graph's labels, which a trimmer does
+    not see per-neighbor; the caller provides a ``label_of`` lookup.
+    """
+
+    def __init__(self, allowed_labels: Iterable[int], label_of) -> None:
+        self._allowed: Set[int] = set(allowed_labels)
+        self._label_of = label_of
+
+    def trim(self, v: int, label: int, adj: Tuple[int, ...]) -> Tuple[int, ...]:
+        if label not in self._allowed:
+            return ()
+        return tuple(u for u in adj if self._label_of(u) in self._allowed)

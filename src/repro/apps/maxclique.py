@@ -1,0 +1,145 @@
+"""Maximum clique finding (MCF) — the paper's Fig. 5 application, verbatim.
+
+A task is ``<S, ext(S)>``: ``S`` is the vertex set already assumed in
+the clique, and the task's subgraph ``t.g`` is induced by
+``ext(S) = Γ_>(S)`` (common larger-id neighbors of ``S``).
+
+* ``task_spawn(v)`` prunes against the aggregator's current best
+  (``|S_max| >= 1 + |Γ_>(v)|``), then creates the top-level task
+  ``<{v}, Γ_>(v)>`` and pulls every candidate.
+* ``compute`` first materializes ``t.g`` (top-level tasks only), then
+  either *decomposes* — when ``|V(t.g)| > τ`` it creates one child task
+  ``<S ∪ u, Γ_>(S ∪ u)>`` per candidate ``u``, pruning children that
+  cannot beat ``S_max`` — or *mines serially* with branch-and-bound
+  seeded at ``Δ = |S_max| - |t.S|``.
+
+The aggregator tracks the largest clique found anywhere; workers see it
+after each periodic sync, so pruning tightens globally as the job runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..algorithms.cliques import max_clique
+from ..core.api import Comper, MaxAggregator, Task, VertexView
+from .common import GtTrimmer
+
+__all__ = ["MaxCliqueComper"]
+
+
+def _best_size(view) -> int:
+    return len(view) if view else 0
+
+
+class MaxCliqueComper(Comper):
+    """Finds one maximum clique; the job aggregate is its vertex tuple.
+
+    Parameters
+    ----------
+    tau:
+        Decomposition threshold τ: tasks whose subgraph has more
+        vertices are split instead of mined serially (paper default
+        40,000; pass something graph-appropriate).  ``None`` uses the
+        job config's ``decompose_threshold``.
+    """
+
+    def __init__(
+        self,
+        tau: Optional[int] = None,
+        core_numbers: Optional[dict] = None,
+        initial_clique: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Optional accelerations beyond Fig. 5 (both off by default):
+
+        core_numbers:
+            Precomputed core numbers (:func:`repro.graph.core_numbers`):
+            a vertex with ``core(v) + 1 <= |S_max|`` cannot start a
+            bigger clique, so its task is never spawned.
+        initial_clique:
+            A known clique (e.g. :func:`repro.graph.greedy_clique_seed`)
+            folded into the aggregator before any task runs, so
+            branch-and-bound pruning starts tight instead of warming up.
+        """
+        super().__init__()
+        self._tau = tau
+        self._cores = core_numbers
+        self._seed = tuple(initial_clique) if initial_clique else None
+        self._seeded = False
+
+    def make_aggregator(self) -> MaxAggregator:
+        return MaxAggregator(key=len)
+
+    def make_trimmer(self) -> GtTrimmer:
+        return GtTrimmer()
+
+    @property
+    def tau(self) -> int:
+        return self._tau if self._tau is not None else self.config.decompose_threshold
+
+    # -- UDFs ----------------------------------------------------------
+
+    def task_spawn(self, v: VertexView) -> None:
+        if self._seed is not None and not self._seeded:
+            self._seeded = True
+            self.aggregate(self._seed)
+        best = _best_size(self.aggregator_value)
+        if best >= 1 + len(v.adj):  # Fig. 5, task_spawn line 1
+            return
+        if self._cores is not None and self._cores.get(v.id, 0) + 1 <= best:
+            return  # v's densest surrounding subgraph is already beaten
+        task = Task(context=(v.id,))  # t.S = {v}
+        for u in v.adj:  # v.adj is Γ_>(v)
+            task.pull(u)
+        self.add_task(task)
+
+    def compute(self, task: Task, frontier: Sequence[VertexView]) -> bool:
+        s: Tuple[int, ...] = task.context
+        if len(s) == 1 and task.g.num_vertices == 0 and frontier:
+            self._build_top_level_subgraph(task, frontier)
+        if task.g.num_vertices > self.tau:
+            self._decompose(task, s)
+        else:
+            self._mine_serially(task, s)
+        return False  # MCF tasks finish in one compute round (Fig. 5)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _build_top_level_subgraph(self, task: Task, frontier: Sequence[VertexView]) -> None:
+        """Fig. 5 line 2: t.g := subgraph induced by Γ_>(v).
+
+        Adjacency items outside Γ_>(v) are 2 hops from v and filtered.
+        """
+        candidates = frozenset(view.id for view in frontier)
+        for view in frontier:
+            task.g.add_vertex(view.id, view.adj, label=view.label, keep_only=candidates)
+        # Pulled rows are Γ_>-trimmed (upward edges only); the serial
+        # miner and the decomposition need undirected adjacency.
+        task.g.symmetrize()
+
+    def _decompose(self, task: Task, s: Tuple[int, ...]) -> None:
+        """Fig. 5 lines 4-9: one child <S ∪ u, Γ_>(S ∪ u)> per candidate."""
+        best = _best_size(self.aggregator_value)
+        g = task.g
+        for u in sorted(g.vertices()):
+            # Candidates of the child: u's neighbors in t.g with larger
+            # ids (t.g's vertices are already common neighbors of S).
+            child_vertices = [w for w in g.neighbors(u) if w > u]
+            if len(s) + 1 + len(child_vertices) <= best:
+                continue  # Fig. 5 line 9: child cannot beat S_max
+            child = Task(context=tuple(sorted(s + (u,))))
+            keep = frozenset(child_vertices)
+            for w in child_vertices:
+                child.g.add_vertex(w, g.neighbors(w), keep_only=keep)
+            self.add_task(child)
+
+    def _mine_serially(self, task: Task, s: Tuple[int, ...]) -> None:
+        """Fig. 5 lines 10-14: branch-and-bound on the small subgraph."""
+        best = _best_size(self.aggregator_value)
+        if len(s) + task.g.num_vertices <= best:
+            return  # line 11
+        delta = max(0, best - len(s))
+        found = max_clique(task.g.adjacency(), lower_bound=delta)
+        candidate = tuple(sorted(set(s) | set(found)))
+        if len(candidate) > best:
+            self.aggregate(candidate)  # line 13: S_max := t.S ∪ S'_max

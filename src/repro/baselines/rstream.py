@@ -1,0 +1,124 @@
+"""An RStream-style single-machine out-of-core engine.
+
+RStream [32] expresses mining as *relational joins* over edge tables
+streamed from disk (its GRAS model).  This module implements triangle
+counting that way, genuinely out of core: the (directed, upward) edge
+table is written to a real temporary file, then joined against itself in
+streaming passes with a bounded in-memory partition of the adjacency
+index.  Every byte that crosses the file boundary is charged to the disk
+model — the IO-bound behaviour the paper measures (53 s / 283 s /
+3,713 s on Youtube/Skitter/Orkut vs. G-thinker's 4 / 30 / 210 s).
+
+The paper notes RStream's clique code "does not output correct results";
+we therefore only implement TC (the comparison the paper quantifies) and
+expose :func:`rstream_disk_demand` so the harness can report the
+"used up all our disk space" failure mode for the big graphs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import time
+from typing import Dict, Optional, Tuple
+
+from ..graph.graph import Graph, intersect_sorted_count
+from .base import BaselineResult, CostModel
+
+__all__ = ["rstream_triangle_count", "rstream_disk_demand"]
+
+_EDGE_STRUCT = struct.Struct("<qq")
+
+
+def _write_edge_table(graph: Graph, path: str) -> int:
+    """Stream the upward edge table ``(u, v), u < v`` to disk; returns bytes."""
+    written = 0
+    with open(path, "wb") as f:
+        for u, v in graph.edges():
+            f.write(_EDGE_STRUCT.pack(u, v))
+            written += _EDGE_STRUCT.size
+    return written
+
+
+def rstream_disk_demand(graph: Graph, passes: int = 3) -> int:
+    """Bytes of scratch space the streaming join needs (shuffle tables).
+
+    RStream materializes intermediate join tables; for TC that is the
+    wedge table, whose size is sum-of-degree-squared-ish.  The harness
+    compares this against a disk budget to reproduce the paper's
+    "RStream used up all our disk space" outcome on BTC/Friendster.
+    """
+    wedges = sum(
+        len(graph.neighbors_gt(v)) * len(graph.neighbors(v)) for v in graph.vertices()
+    )
+    return passes * 16 * wedges
+
+
+def rstream_triangle_count(
+    graph: Graph,
+    partitions: int = 8,
+    disk_budget_bytes: Optional[int] = None,
+    **cost_kwargs,
+) -> BaselineResult:
+    """Out-of-core TC via a streaming self-join of the edge table.
+
+    The adjacency index is built one *partition* at a time (bounded
+    memory); each partition triggers a full scan of the on-disk edge
+    table — ``partitions`` passes in total, the access pattern that makes
+    out-of-core engines IO-bound.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    cost = CostModel(machines=1, threads=1, **cost_kwargs)
+    if disk_budget_bytes is not None:
+        demand = rstream_disk_demand(graph)
+        if demand > disk_budget_bytes:
+            return BaselineResult(
+                system="rstream",
+                app="tc",
+                failed="used up all disk space",
+                detail={"disk_demand_bytes": float(demand)},
+            )
+    gt: Dict[int, Tuple[int, ...]] = {v: graph.neighbors_gt(v) for v in graph.vertices()}
+    fd, path = tempfile.mkstemp(prefix="rstream-edges-", suffix=".tbl")
+    os.close(fd)
+    try:
+        table_bytes = _write_edge_table(graph, path)
+        cost.charge_disk(table_bytes, ios=1)
+        total = 0
+        peak_partition_bytes = 0
+        for p in range(partitions):
+            # Build the in-memory adjacency index for this partition.
+            index = {v: adj for v, adj in gt.items() if v % partitions == p}
+            peak_partition_bytes = max(
+                peak_partition_bytes, sum(16 + 8 * len(a) for a in index.values())
+            )
+            t0 = time.perf_counter()
+            scanned = 0
+            with open(path, "rb") as f:
+                while True:
+                    chunk = f.read(_EDGE_STRUCT.size * 4096)
+                    if not chunk:
+                        break
+                    scanned += len(chunk)
+                    for off in range(0, len(chunk), _EDGE_STRUCT.size):
+                        u, v = _EDGE_STRUCT.unpack_from(chunk, off)
+                        # join: wedge (u -> v) closed by Γ_>(v) ∩ Γ_>(u),
+                        # counted when v's index partition is resident.
+                        row = index.get(v)
+                        if row:
+                            total += intersect_sorted_count(gt[u], row)
+            cost.charge_parallel_cpu(time.perf_counter() - t0)
+            cost.charge_disk(scanned, ios=1)
+        cost.observe_memory(peak_partition_bytes + (8 << 20))
+    finally:
+        os.unlink(path)
+    return BaselineResult(
+        system="rstream",
+        app="tc",
+        answer=total,
+        virtual_time_s=cost.total_time_s(),
+        peak_memory_bytes=cost.peak_memory_bytes,
+        detail=cost.detail(),
+    )

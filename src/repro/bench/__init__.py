@@ -1,0 +1,40 @@
+"""Benchmark harness: experiment drivers + table rendering."""
+
+from .drivers import (
+    BENCH_SCALE,
+    bench_config,
+    fig2_crossover,
+    gm_query,
+    run_gthinker,
+    single_machine_comparison,
+    table1_features,
+    table2_datasets,
+    table3_distributed,
+    table4a_horizontal,
+    table4b_vertical,
+    table4c_single_machine,
+    table5a_cache_capacity,
+    table5b_alpha,
+)
+from .tables import emit, format_bytes, format_seconds, render_table
+
+__all__ = [
+    "BENCH_SCALE",
+    "bench_config",
+    "fig2_crossover",
+    "gm_query",
+    "run_gthinker",
+    "single_machine_comparison",
+    "table1_features",
+    "table2_datasets",
+    "table3_distributed",
+    "table4a_horizontal",
+    "table4b_vertical",
+    "table4c_single_machine",
+    "table5a_cache_capacity",
+    "table5b_alpha",
+    "emit",
+    "format_bytes",
+    "format_seconds",
+    "render_table",
+]

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "emit", "format_seconds", "format_bytes"]
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f} h"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def format_bytes(num_bytes: Optional[float]) -> str:
+    if num_bytes is None:
+        return "-"
+    for unit, scale in (("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10)):
+        if num_bytes >= scale:
+            return f"{num_bytes / scale:.2f} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def emit(text: str, out_path: Optional[str] = None) -> None:
+    """Print a rendered table and optionally persist it under results/."""
+    print("\n" + text)
+    if out_path:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)

@@ -1,0 +1,49 @@
+"""G-thinker core: the CPU-bound task-based subgraph-mining engine."""
+
+from .api import (
+    Aggregator,
+    Comper,
+    MaxAggregator,
+    SumAggregator,
+    Task,
+    Trimmer,
+    VertexView,
+)
+from .config import DiskModel, GThinkerConfig, MachineModel, NetworkModel
+from .errors import (
+    CacheProtocolError,
+    CheckpointError,
+    GThinkerError,
+    JobAbortedError,
+    TaskError,
+)
+from .job import JobResult, build_cluster, resume_job, run_job
+from .metrics import MetricsRegistry
+from .subgraph import Subgraph
+from .vertex_cache import VertexCache
+
+__all__ = [
+    "Aggregator",
+    "Comper",
+    "MaxAggregator",
+    "SumAggregator",
+    "Task",
+    "Trimmer",
+    "VertexView",
+    "DiskModel",
+    "GThinkerConfig",
+    "MachineModel",
+    "NetworkModel",
+    "CacheProtocolError",
+    "CheckpointError",
+    "GThinkerError",
+    "JobAbortedError",
+    "TaskError",
+    "JobResult",
+    "build_cluster",
+    "resume_job",
+    "run_job",
+    "MetricsRegistry",
+    "Subgraph",
+    "VertexCache",
+]

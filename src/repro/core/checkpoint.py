@@ -1,0 +1,138 @@
+"""Fault tolerance via checkpointing (paper §V-B, "Fault Tolerance").
+
+A checkpoint captures, per worker: the task-spawning cursor over
+``T_local``, every in-memory task (tasks in ``T_task`` and ``B_task``
+are saved with their pull sets so they re-request vertices after
+recovery — the cache restarts cold, exactly as the paper describes),
+the spilled task files, the outputs emitted so far, and the global
+aggregator value.
+
+Checkpoints are written at sync points of the **serial runtime** (the
+deterministic scheduler guarantees no task is mid-iteration there).
+Recovery builds a fresh job seeded from the snapshot.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .api import Task
+from .errors import CheckpointError
+
+__all__ = ["TaskSnapshot", "WorkerSnapshot", "JobCheckpoint", "snapshot_task", "restore_task"]
+
+
+@dataclass
+class TaskSnapshot:
+    """A picklable, lock-free image of a task at an iteration boundary."""
+
+    adjacency: Dict[int, Tuple[int, ...]]
+    labels: Dict[int, int]
+    context: Any
+    pulls: Tuple[int, ...]
+
+
+def snapshot_task(task: Task) -> TaskSnapshot:
+    """Capture a task; pending pulls (in flight or not yet issued) are
+    recorded so recovery re-requests them."""
+    pulls = tuple(task.pulls_in_flight) if task.pulls_in_flight else task.pending_pulls()
+    return TaskSnapshot(
+        adjacency=dict(task.g.adjacency()),
+        labels={v: task.g.label(v) for v in task.g.vertices() if task.g.label(v)},
+        context=task.context,
+        pulls=pulls,
+    )
+
+
+def restore_task(snap: TaskSnapshot) -> Task:
+    task = Task(context=snap.context)
+    for v, adj in snap.adjacency.items():
+        task.g.add_vertex(v, adj, label=snap.labels.get(v, 0))
+    for v in snap.pulls:
+        task.pull(v)
+    return task
+
+
+@dataclass
+class WorkerSnapshot:
+    spawn_cursor: int
+    tasks: List[TaskSnapshot] = field(default_factory=list)
+    outputs: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class JobCheckpoint:
+    worker_snapshots: List[WorkerSnapshot]
+    aggregator_global: Any
+    num_workers: int
+    compers_per_worker: int
+
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        try:
+            with open(tmp, "wb") as f:
+                pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except (OSError, pickle.PicklingError) as exc:
+            raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+
+    @classmethod
+    def load(cls, path) -> "JobCheckpoint":
+        try:
+            with open(path, "rb") as f:
+                ckpt = pickle.load(f)
+        except (OSError, pickle.UnpicklingError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        if not isinstance(ckpt, cls):
+            raise CheckpointError(f"{path} does not contain a JobCheckpoint")
+        return ckpt
+
+
+def capture(cluster) -> JobCheckpoint:
+    """Snapshot a (quiescent-at-sync-point) cluster."""
+    snapshots: List[WorkerSnapshot] = []
+    for w in cluster.workers:
+        tasks: List[TaskSnapshot] = []
+        for engine in w.engines:
+            for t in list(engine.q_task._q):
+                tasks.append(snapshot_task(t))
+            # B_task and T_task entries: saved with pulls so they re-pull.
+            for t in engine.b_task.get_batch(limit=10**9):
+                tasks.append(snapshot_task(t))
+                engine.b_task.put(t)  # non-destructive round-trip
+            with engine.t_task._lock:
+                for entry in engine.t_task._entries.values():
+                    tasks.append(snapshot_task(entry.task))
+        for file_tasks in _peek_files(w.l_file):
+            tasks.extend(snapshot_task(t) for t in file_tasks)
+        snapshots.append(
+            WorkerSnapshot(
+                spawn_cursor=w.spawn_cursor(),
+                tasks=tasks,
+                outputs=w.outputs(),
+            )
+        )
+    return JobCheckpoint(
+        worker_snapshots=snapshots,
+        aggregator_global=cluster.master.global_aggregator.value,
+        num_workers=len(cluster.workers),
+        compers_per_worker=cluster.config.compers_per_worker,
+    )
+
+
+def _peek_files(l_file) -> List[List[Task]]:
+    """Read every spilled batch without consuming it."""
+    from .containers import deserialize_tasks
+
+    out: List[List[Task]] = []
+    with l_file._lock:
+        paths = [p for p, _c in l_file._files]
+    for p in paths:
+        with open(p, "rb") as f:
+            out.append(deserialize_tasks(f.read()))
+    return out

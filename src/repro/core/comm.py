@@ -1,0 +1,105 @@
+"""Per-worker communication service (paper: "communication threads").
+
+Compers append vertex pulls here; the service flushes them as batched
+:class:`~repro.net.message.RequestBatch` messages (desirability 5 —
+batching to combat round-trip time), answers incoming requests from the
+local vertex table, and lands incoming responses in the vertex cache,
+notifying the pending tasks of the owning compers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..net.message import Message, RequestBatch, ResponseBatch, TaskBatchTransfer
+from .containers import comper_of_task_id
+
+__all__ = ["CommService"]
+
+#: Cap on vertices per response batch so one huge request batch does not
+#: produce one giant message (mirrors MTU-ish chunking).
+RESPONSE_CHUNK = 4096
+
+
+class CommService:
+    """Outgoing request batching + inbound message dispatch for one worker."""
+
+    def __init__(self, worker) -> None:
+        self.worker = worker
+        self._lock = threading.Lock()
+        self._outgoing: Dict[int, List[int]] = defaultdict(list)
+        self._bytes_served = 0
+
+    # -- comper-side -------------------------------------------------------
+
+    def queue_request(self, v: int) -> None:
+        """Append a vertex pull for batched transmission."""
+        dst = self.worker.owner_of(v)
+        with self._lock:
+            self._outgoing[dst].append(v)
+        self.worker.metrics.add("comm:requests_queued")
+
+    def pending_outgoing(self) -> int:
+        with self._lock:
+            return sum(len(vs) for vs in self._outgoing.values())
+
+    # -- service loop ----------------------------------------------------------
+
+    def step(self, now: float = 0.0) -> bool:
+        """Flush outgoing batches and dispatch every available message."""
+        worked = self._flush(now)
+        messages = self.worker.transport.poll(self.worker.worker_id, now=now)
+        for msg in messages:
+            self._dispatch(msg, now)
+        return worked or bool(messages)
+
+    def _flush(self, now: float) -> bool:
+        with self._lock:
+            batches = {dst: vs for dst, vs in self._outgoing.items() if vs}
+            self._outgoing.clear()
+        for dst, vertex_ids in batches.items():
+            msg = RequestBatch(src=self.worker.worker_id, dst=dst, vertex_ids=vertex_ids)
+            self.worker.transport.send(msg, now=now)
+        return bool(batches)
+
+    def _dispatch(self, msg: Message, now: float) -> None:
+        if isinstance(msg, RequestBatch):
+            self._serve_requests(msg, now)
+        elif isinstance(msg, ResponseBatch):
+            self._receive_responses(msg)
+        elif isinstance(msg, TaskBatchTransfer):
+            self.worker.l_file.add_payload(msg.payload, msg.num_tasks)
+            self.worker.note_progress()
+        else:  # pragma: no cover - no other message kinds exist
+            raise TypeError(f"unknown message type {type(msg)!r}")
+
+    def _serve_requests(self, msg: RequestBatch, now: float) -> None:
+        """Answer a pull batch from the local vertex table."""
+        out: List = []
+        for v in msg.vertex_ids:
+            label, adj = self.worker.local_entry(v)
+            out.append((v, label, adj))
+            if len(out) >= RESPONSE_CHUNK:
+                self.worker.transport.send(
+                    ResponseBatch(src=self.worker.worker_id, dst=msg.src, vertices=out),
+                    now=now,
+                )
+                out = []
+        if out:
+            self.worker.transport.send(
+                ResponseBatch(src=self.worker.worker_id, dst=msg.src, vertices=out),
+                now=now,
+            )
+        self.worker.metrics.add("comm:requests_served", len(msg.vertex_ids))
+
+    def _receive_responses(self, msg: ResponseBatch) -> None:
+        """Insert arrived vertices into the cache and wake waiting tasks."""
+        for v, label, adj in msg.vertices:
+            waiting = self.worker.cache.insert_response(v, label, adj)
+            for task_id in waiting:
+                engine = self.worker.engine_by_global_id(comper_of_task_id(task_id))
+                engine.on_vertex_arrival(task_id)
+        self.worker.metrics.add("comm:responses_received", len(msg.vertices))
+        self.worker.note_progress()

@@ -1,0 +1,272 @@
+"""The comper engine: pop/push rounds over the task containers (paper §V-B).
+
+Every round a comper:
+
+* **push()** — takes a ready task from ``B_task`` (all requested
+  vertices cached and locked), resolves its frontier, and computes; and
+* **pop()** — *if memory permits* (cache not overflowed, pending tasks
+  under the ``D`` threshold), refills ``Q_task`` when ``|Q| <= C``
+  (spilled files first, then fresh spawns) and starts the next task:
+  its pulls are resolved against the local table and the vertex cache,
+  and the task either computes inline (everything available locally) or
+  parks in ``T_task`` until its responses arrive.
+
+Deviation from the paper noted in DESIGN.md: our push() computes a ready
+task until it either finishes or needs to wait again, instead of exactly
+one iteration followed by a re-queue through ``Q_task``; tasks are
+independent so only intra-comper interleaving differs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .api import Comper, Task, VertexView
+from .containers import (
+    PendingTable,
+    ReadyBuffer,
+    TaskQueue,
+    comper_of_task_id,
+    make_task_id,
+)
+from .errors import TaskError
+from .vertex_cache import RequestOutcome
+
+__all__ = ["ComperEngine"]
+
+
+class ComperEngine:
+    """One mining thread's state and logic; owned by a worker."""
+
+    def __init__(self, global_id: int, worker, app: Comper) -> None:
+        self.global_id = global_id
+        self.worker = worker
+        self.app = app
+        app.bind_engine(self)
+
+        cfg = worker.config
+        self.q_task = TaskQueue(cfg.task_batch_size)
+        self.b_task = ReadyBuffer()
+        self.t_task = PendingTable()
+        self._seq = 0
+        self._active = 0  # tasks taken out of containers, mid-processing
+        self._last_compute_cost = 0.0
+        # Set once the worker's spawn cursor exhausted and this comper's
+        # app got its spawn_flush() call (bundling apps hold buffers).
+        self.spawn_flushed = False
+
+    # -- services exposed to the app (via Comper base class) ---------------
+
+    @property
+    def config(self):
+        return self.worker.config
+
+    def add_task(self, task: Task) -> None:
+        spill = self.q_task.append(task)
+        if spill is not None:
+            self.worker.l_file.spill(spill)
+        self.worker.metrics.add("tasks:created")
+
+    def aggregate(self, value) -> None:
+        self.worker.aggregator.aggregate(value)
+
+    def aggregator_view(self):
+        return self.worker.aggregator.view()
+
+    def output(self, record) -> None:
+        self.worker.add_output(record)
+
+    # -- status (termination detection & gating) ---------------------------
+
+    def tasks_in_memory(self) -> int:
+        return len(self.q_task) + len(self.b_task) + len(self.t_task) + self._active
+
+    def pending_load(self) -> int:
+        """|T_task| + |B_task|, gated against the paper's D threshold."""
+        return len(self.t_task) + len(self.b_task)
+
+    @property
+    def last_compute_cost(self) -> float:
+        """Measured seconds of UDF compute in the most recent step (DES hook)."""
+        return self._last_compute_cost
+
+    # -- the comper round ----------------------------------------------------
+
+    def step(self) -> bool:
+        """One round: push(), then (memory permitting) pop().
+
+        Returns True if any task progress was made.
+        """
+        self._last_compute_cost = 0.0
+        worked = self._push()
+        if self._may_pop():
+            worked = self._pop() or worked
+        return worked
+
+    def _may_pop(self) -> bool:
+        if self.worker.cache.overflowed():
+            self.worker.metrics.add("comper:pop_blocked_cache")
+            return False
+        if self.pending_load() > self.config.effective_pending_threshold:
+            self.worker.metrics.add("comper:pop_blocked_pending")
+            return False
+        return True
+
+    # -- push: consume ready tasks -----------------------------------------
+
+    def _push(self) -> bool:
+        task = self.b_task.get()
+        if task is None:
+            return False
+        self._active += 1
+        try:
+            frontier = self._resolve_ready_frontier(task)
+            self._process(task, frontier)
+        finally:
+            self._active -= 1
+        return True
+
+    def _resolve_ready_frontier(self, task: Task) -> List[VertexView]:
+        frontier: List[VertexView] = []
+        for v in task.pulls_in_flight:
+            view = self.worker.local_view(v)
+            if view is None:
+                entry = self.worker.cache.get_locked(v)
+                view = VertexView(entry.vid, entry.label, entry.adj)
+            frontier.append(view)
+        return frontier
+
+    # -- pop: start new tasks --------------------------------------------------
+
+    def _pop(self) -> bool:
+        refilled = False
+        if self.q_task.needs_refill():
+            refilled = self._refill()
+        task = self.q_task.pop()
+        if task is None:
+            # Advancing the spawn cursor is progress even when every
+            # candidate vertex was pruned by task_spawn — without this,
+            # prune-heavy phases would look idle to the scheduler.
+            return refilled
+        self._active += 1
+        try:
+            self._start(task)
+        finally:
+            self._active -= 1
+        return True
+
+    def _refill(self) -> bool:
+        """Prioritized refill: spilled/stolen files first, then spawns.
+
+        Returns True if any refill source yielded work (tasks loaded or
+        spawn cursor advanced).
+        """
+        tasks = self.worker.l_file.take_file()
+        if tasks is not None:
+            self.q_task.prepend(tasks)
+            return True
+        room = self.q_task.refill_room()
+        if room > 0:
+            return self.worker.spawn_into(self, room) > 0
+        return False
+
+    def _start(self, task: Task) -> None:
+        """Resolve a task fresh from ``Q_task`` (no locks held yet)."""
+        pulls = task.take_pulls()
+        task.pulls_in_flight = pulls
+        if self._park_or_hit(task, pulls):
+            return  # parked (or routed to B_task); push() continues it
+        frontier = [self._must_local_view(v) for v in pulls]
+        self._process(task, frontier)
+
+    def _must_local_view(self, v: int) -> VertexView:
+        view = self.worker.local_view(v)
+        if view is None:  # pragma: no cover - guarded by caller
+            raise TaskError(-1, f"vertex {v} expected local")
+        return view
+
+    def _park_or_hit(self, task: Task, pulls: Sequence[int]) -> bool:
+        """Request remote pulls; park the task if any are remote.
+
+        Park-first protocol: the task enters ``T_task`` *before* the
+        cache requests are issued, so a response racing in from another
+        thread always finds the pending entry.  Cache hits are
+        self-notified; when the last notification lands (ours or the
+        receiver's) the task moves to ``B_task``.
+
+        Returns True if the task was parked (caller must not continue).
+        """
+        remote = [v for v in pulls if not self.worker.owns_vertex(v)]
+        if not remote:
+            return False
+        if task.task_id == -1:
+            task.task_id = make_task_id(self.global_id, self._seq)
+            self._seq += 1
+        self.t_task.insert(task.task_id, task, req=len(remote))
+        cache = self.worker.cache
+        for v in remote:
+            outcome = cache.request(v, task.task_id)
+            if outcome.status == RequestOutcome.HIT:
+                ready = self.t_task.notify_arrival(task.task_id)
+                if ready is not None:
+                    self.b_task.put(ready)
+            elif outcome.status == RequestOutcome.MISS_SEND:
+                self.worker.comm.queue_request(v)
+            # MISS_DUPLICATE: the in-flight response will notify us.
+        return True
+
+    # -- the compute loop -----------------------------------------------------
+
+    #: A task whose pulls keep resolving locally computes inline, but
+    #: yields the comper after this many consecutive iterations (it goes
+    #: back to Q_task) so one task cannot monopolize its thread and the
+    #: runtime's round accounting (livelock guards, sync cadence) stays
+    #: live.
+    INLINE_ITERATION_LIMIT = 64
+
+    def _process(self, task: Task, frontier: List[VertexView]) -> None:
+        """Run compute() iterations until the task finishes or must wait."""
+        cache = self.worker.cache
+        iterations = 0
+        while True:
+            iterations += 1
+            t0 = time.perf_counter()
+            try:
+                more = self.app.compute(task, frontier)
+            except Exception as exc:
+                raise TaskError(task.task_id, repr(exc)) from exc
+            finally:
+                self._last_compute_cost += time.perf_counter() - t0
+            self.worker.metrics.add("tasks:iterations")
+            # Release every remote vertex of the iteration just finished
+            # ("a task always releases all its previously requested
+            # non-local vertices from T_cache after each iteration").
+            for v in task.pulls_in_flight:
+                if not self.worker.owns_vertex(v):
+                    cache.release(v)
+            pulls = task.take_pulls()
+            task.pulls_in_flight = pulls
+            if not more:
+                self.worker.metrics.add("tasks:finished")
+                return
+            if iterations >= self.INLINE_ITERATION_LIMIT:
+                # Yield: return the task (with its pulls restored) to the
+                # queue; a later pop re-resolves them.
+                task.pulls_in_flight = []
+                for v in pulls:
+                    task.pull(v)
+                self.add_task(task)
+                self.worker.metrics.add("comper:inline_yields")
+                return
+            if self._park_or_hit(task, pulls):
+                return
+            frontier = [self._must_local_view(v) for v in pulls]
+
+    # -- receiver-side hooks ------------------------------------------------------
+
+    def on_vertex_arrival(self, task_id: int) -> None:
+        """Called by the comm service when a response for a waited vertex lands."""
+        ready = self.t_task.notify_arrival(task_id)
+        if ready is not None:
+            self.b_task.put(ready)

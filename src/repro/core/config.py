@@ -1,0 +1,161 @@
+"""System configuration.
+
+All of the paper's tunables live here with their paper defaults noted.
+Sizes that assumed 64 GB Azure nodes are scaled down but keep the same
+*ratios* (the quantities the paper's Table V sensitivity study varies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["GThinkerConfig", "NetworkModel", "DiskModel", "MachineModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Simulated interconnect (used by the DES runtime only).
+
+    Defaults approximate the paper's GigE testbed: ~100 microsecond
+    round-trip latency, ~110 MB/s effective bandwidth per link.
+    """
+
+    latency_s: float = 100e-6
+    bandwidth_bytes_per_s: float = 110e6
+
+    def transfer_time(self, num_bytes: int) -> float:
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Simulated local managed disk (sequential IO for task spills)."""
+
+    seek_s: float = 2e-3
+    bandwidth_bytes_per_s: float = 150e6
+
+    def io_time(self, num_bytes: int) -> float:
+        return self.seek_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A simulated machine (paper: Azure D16S_V3 — 16 cores, 64 GB)."""
+
+    num_cores: int = 16
+    memory_bytes: int = 64 << 30
+    cpu_speed: float = 1.0  # virtual-seconds per measured-second of compute
+
+
+@dataclass(frozen=True)
+class GThinkerConfig:
+    """Runtime parameters of a G-thinker job.
+
+    Attributes
+    ----------
+    num_workers:
+        Number of worker "machines".
+    compers_per_worker:
+        Mining threads per worker (paper: up to 16).
+    task_batch_size:
+        The paper's ``C``: refill trigger is ``|Q_task| <= C``, refill
+        target ``2C``, queue capacity ``3C``, spill unit ``C``.
+        Paper default 150.
+    pending_threshold:
+        The paper's ``D``: a comper stops popping new tasks when the
+        number of tasks in ``T_task`` + ``B_task`` exceeds this.
+        Paper default ``8C``.
+    cache_capacity:
+        The paper's ``c_cache``: target number of vertices in the remote
+        vertex cache (Γ-tables + R-tables).  Paper default 2M on 64 GB
+        machines; our default is sized for laptop-scale graphs.
+    cache_overflow_alpha:
+        The paper's ``α``: GC only acts (and compers only stop fetching
+        new tasks) when ``s_cache > (1 + α) · c_cache``.  Paper default
+        0.2.
+    cache_buckets:
+        The paper's ``k``: number of mutex-protected buckets in the
+        vertex cache.  Paper default 10,000.
+    cache_count_delta:
+        The paper's ``δ``: per-thread local counter committed to the
+        approximate cache size ``s_cache`` when it reaches ±δ.
+        Paper default 10.
+    decompose_threshold:
+        The paper's ``τ``: a task whose subgraph exceeds this many
+        vertices is decomposed into child tasks instead of mined
+        serially.  Paper default 40,000; ours is sized to our graphs.
+    aggregator_sync_period_s:
+        How often worker aggregators synchronize (paper default 1 s);
+        the serial runtime interprets this as "every N scheduler rounds".
+    steal_enabled / steal_batches:
+        Master-coordinated work stealing: when the gap between the most-
+        and least-loaded workers exceeds one batch, move up to
+        ``steal_batches`` task batches per sync.
+    checkpoint_every_syncs:
+        If > 0, write a checkpoint every this many progress syncs.
+    checkpoint_dir / spill_dir:
+        Filesystem locations (spill_dir defaults to a temp dir per job).
+    seed:
+        Seed for any tie-breaking randomness (kept for reproducibility;
+        the engine itself is deterministic in the serial runtime).
+    """
+
+    num_workers: int = 2
+    compers_per_worker: int = 2
+    task_batch_size: int = 32
+    pending_threshold: Optional[int] = None  # defaults to 8 * C
+    cache_capacity: int = 50_000
+    cache_overflow_alpha: float = 0.2
+    cache_buckets: int = 256
+    cache_count_delta: int = 10
+    decompose_threshold: int = 64
+    aggregator_sync_period_s: float = 0.05
+    sync_every_rounds: int = 64
+    steal_enabled: bool = True
+    steal_batches: int = 4
+    checkpoint_every_syncs: int = 0
+    checkpoint_dir: Optional[str] = None
+    spill_dir: Optional[str] = None
+    seed: int = 0
+
+    network: NetworkModel = field(default_factory=NetworkModel)
+    disk: DiskModel = field(default_factory=DiskModel)
+    machine: MachineModel = field(default_factory=MachineModel)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.compers_per_worker < 1:
+            raise ValueError("compers_per_worker must be >= 1")
+        if self.task_batch_size < 1:
+            raise ValueError("task_batch_size must be >= 1")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.cache_overflow_alpha < 0:
+            raise ValueError("cache_overflow_alpha must be >= 0")
+        if self.cache_buckets < 1:
+            raise ValueError("cache_buckets must be >= 1")
+        if self.decompose_threshold < 2:
+            raise ValueError("decompose_threshold must be >= 2")
+
+    @property
+    def effective_pending_threshold(self) -> int:
+        """The paper's ``D`` (defaults to ``8C``)."""
+        if self.pending_threshold is not None:
+            return self.pending_threshold
+        return 8 * self.task_batch_size
+
+    @property
+    def queue_capacity(self) -> int:
+        """``Q_task`` holds at most ``3C`` tasks."""
+        return 3 * self.task_batch_size
+
+    @property
+    def refill_target(self) -> int:
+        """Refills aim to bring ``|Q_task|`` back to ``2C``."""
+        return 2 * self.task_batch_size
+
+    def with_updates(self, **kwargs) -> "GThinkerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,307 @@
+"""Task containers (paper §V-B, Fig. 7).
+
+Each comper owns three in-memory containers:
+
+* :class:`TaskQueue` (``Q_task``) — a deque touched only by its comper.
+  Refill is triggered at ``|Q| <= C`` and tops the queue back up to
+  ``2C``; capacity is ``3C``; overflow spills the *last* ``C`` tasks as
+  one batch file (sequential IO).
+* :class:`ReadyBuffer` (``B_task``) — a concurrent queue that the
+  response-receiving path appends ready tasks to (the comper alone may
+  touch ``Q_task``, so readiness notifications go through this buffer).
+* :class:`PendingTable` (``T_task``) — pending tasks keyed by 64-bit
+  task id (16-bit comper id ‖ 48-bit sequence number), each with
+  ``(met, req)`` counters of arrived vs requested vertices.
+
+Workers additionally share:
+
+* :class:`TaskFileList` (``L_file``) — a concurrent list of spilled task
+  batch files, shared by all compers of a machine; stolen task batches
+  also land here.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .api import Task
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "make_task_id",
+    "comper_of_task_id",
+    "TaskQueue",
+    "ReadyBuffer",
+    "PendingTable",
+    "PendingEntry",
+    "TaskFileList",
+    "serialize_tasks",
+    "deserialize_tasks",
+]
+
+_SEQ_BITS = 48
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+
+
+def make_task_id(comper_id: int, seq: int) -> int:
+    """Compose the paper's 64-bit task id: 16-bit comper ‖ 48-bit seq."""
+    if not 0 <= comper_id < (1 << 16):
+        raise ValueError(f"comper_id out of 16-bit range: {comper_id}")
+    return (comper_id << _SEQ_BITS) | (seq & _SEQ_MASK)
+
+
+def comper_of_task_id(task_id: int) -> int:
+    """Recover the owning comper from a task id (used by the receiver)."""
+    return task_id >> _SEQ_BITS
+
+
+def serialize_tasks(tasks: Sequence[Task]) -> bytes:
+    """Pickle a task batch for spilling or stealing."""
+    return pickle.dumps(list(tasks), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_tasks(payload: bytes) -> List[Task]:
+    return pickle.loads(payload)
+
+
+class TaskQueue:
+    """``Q_task``: a bounded deque owned by exactly one comper.
+
+    Only the owning comper mutates it, so no lock is needed (the paper
+    makes the same single-writer argument).  ``append`` returns a spill
+    batch when the queue is full; the comper writes it to ``L_file``.
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.capacity = 3 * batch_size
+        self._q: Deque[Task] = deque()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def needs_refill(self) -> bool:
+        """Paper rule: refill when ``|Q_task| <= C``."""
+        return len(self._q) <= self.batch_size
+
+    def refill_room(self) -> int:
+        """How many tasks a refill may add (to reach ``2C``)."""
+        return max(0, 2 * self.batch_size - len(self._q))
+
+    def append(self, task: Task) -> Optional[List[Task]]:
+        """Append at the tail; if full, return the last ``C`` tasks to spill.
+
+        After a spill the queue holds ``2C`` tasks and the new task is
+        appended, giving ``2C + 1`` — exactly the paper's bookkeeping.
+        """
+        spill: Optional[List[Task]] = None
+        if len(self._q) >= self.capacity:
+            spill = [self._q.pop() for _ in range(self.batch_size)]
+            spill.reverse()  # preserve original order inside the batch
+        self._q.append(task)
+        return spill
+
+    def prepend(self, tasks: Sequence[Task]) -> None:
+        """Refill at the head (refilled tasks run before queued ones)."""
+        for t in reversed(tasks):
+            self._q.appendleft(t)
+
+    def pop(self) -> Optional[Task]:
+        """Fetch the next task from the head."""
+        if self._q:
+            return self._q.popleft()
+        return None
+
+    def drain(self) -> List[Task]:
+        out = list(self._q)
+        self._q.clear()
+        return out
+
+
+class ReadyBuffer:
+    """``B_task``: concurrent FIFO of tasks whose pulls all arrived."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._q: Deque[Task] = deque()
+
+    def put(self, task: Task) -> None:
+        with self._lock:
+            self._q.append(task)
+
+    def get(self) -> Optional[Task]:
+        with self._lock:
+            if self._q:
+                return self._q.popleft()
+            return None
+
+    def get_batch(self, limit: int) -> List[Task]:
+        out: List[Task] = []
+        with self._lock:
+            while self._q and len(out) < limit:
+                out.append(self._q.popleft())
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._q)
+
+
+class PendingEntry:
+    """``T_task`` value: the parked task plus its ``(met, req)`` counters."""
+
+    __slots__ = ("task", "met", "req", "resolved")
+
+    def __init__(self, task: Task, req: int, met: int = 0) -> None:
+        self.task = task
+        self.req = req
+        self.met = met
+        # Vertex ids already available at park time (local or cache hits)
+        # don't need re-resolution; we keep nothing else here because the
+        # locks are held in the cache itself.
+        self.resolved = None  # placeholder for future use
+
+
+class PendingTable:
+    """``T_task``: pending tasks of one comper, updated by the receiver.
+
+    The response-receiving path (a different thread in threaded mode)
+    increments ``met`` and removes ready entries, so this table is
+    locked.  Contention is low: one comper's entries are touched by one
+    comper plus the receiving path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[int, PendingEntry] = {}
+
+    def insert(self, task_id: int, task: Task, req: int, met: int = 0) -> None:
+        with self._lock:
+            if task_id in self._entries:
+                raise KeyError(f"duplicate pending task id {task_id:#x}")
+            self._entries[task_id] = PendingEntry(task, req=req, met=met)
+
+    def notify_arrival(self, task_id: int) -> Optional[Task]:
+        """Increment ``met``; if ``met == req`` remove and return the task."""
+        with self._lock:
+            entry = self._entries.get(task_id)
+            if entry is None:
+                raise KeyError(f"arrival for unknown pending task {task_id:#x}")
+            entry.met += 1
+            if entry.met > entry.req:
+                raise ValueError(
+                    f"task {task_id:#x} met {entry.met} > req {entry.req}"
+                )
+            if entry.met == entry.req:
+                del self._entries[task_id]
+                return entry.task
+            return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def drain(self) -> List[Task]:
+        """Remove and return all pending tasks (checkpoint/recovery path)."""
+        with self._lock:
+            tasks = [e.task for e in self._entries.values()]
+            self._entries.clear()
+        return tasks
+
+
+class TaskFileList:
+    """``L_file``: the machine-wide concurrent list of spilled batch files.
+
+    Files are appended at the tail (spills, stolen batches) and consumed
+    from the head (refills prioritize the earliest spilled work, the
+    paper's rule for keeping disk-resident task volume minimal).
+    """
+
+    def __init__(self, spill_dir: Path, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.spill_dir = Path(spill_dir)
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._files: Deque[Tuple[Path, int]] = deque()  # (path, num_tasks)
+        self._metrics = metrics or MetricsRegistry()
+        # Optional hook charging modeled disk time per IO (set by the
+        # DES runtime): called with the number of bytes read/written.
+        self.on_io = None
+
+    def spill(self, tasks: Sequence[Task]) -> Path:
+        """Write a task batch to a new file and register it."""
+        payload = serialize_tasks(tasks)
+        path = self.spill_dir / f"batch-{uuid.uuid4().hex}.tasks"
+        with open(path, "wb") as f:
+            f.write(payload)
+        with self._lock:
+            self._files.append((path, len(tasks)))
+        self._metrics.add("tasks:spilled", len(tasks))
+        self._metrics.add("tasks:spill_bytes", len(payload))
+        if self.on_io is not None:
+            self.on_io(len(payload))
+        return path
+
+    def add_payload(self, payload: bytes, num_tasks: int) -> Path:
+        """Register an already-serialized batch (stolen tasks)."""
+        path = self.spill_dir / f"stolen-{uuid.uuid4().hex}.tasks"
+        with open(path, "wb") as f:
+            f.write(payload)
+        with self._lock:
+            self._files.append((path, num_tasks))
+        self._metrics.add("tasks:stolen_in", num_tasks)
+        if self.on_io is not None:
+            self.on_io(len(payload))
+        return path
+
+    def take_file(self) -> Optional[List[Task]]:
+        """Pop the head file, load and delete it; None when empty."""
+        with self._lock:
+            if not self._files:
+                return None
+            path, _count = self._files.popleft()
+        with open(path, "rb") as f:
+            payload = f.read()
+        tasks = deserialize_tasks(payload)
+        os.unlink(path)
+        self._metrics.add("tasks:refilled_from_disk", len(tasks))
+        if self.on_io is not None:
+            self.on_io(len(payload))
+        return tasks
+
+    def take_payload(self) -> Optional[Tuple[bytes, int]]:
+        """Pop the head file as raw bytes (work-stealing source path)."""
+        with self._lock:
+            if not self._files:
+                return None
+            path, count = self._files.popleft()
+        with open(path, "rb") as f:
+            payload = f.read()
+        os.unlink(path)
+        self._metrics.add("tasks:stolen_out", count)
+        return payload, count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._files)
+
+    def num_tasks_on_disk(self) -> int:
+        with self._lock:
+            return sum(count for _p, count in self._files)
+
+    def cleanup(self) -> None:
+        """Delete any remaining files (job teardown)."""
+        with self._lock:
+            while self._files:
+                path, _ = self._files.popleft()
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the G-thinker reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "GThinkerError",
+    "JobAbortedError",
+    "CheckpointError",
+    "TaskError",
+    "CacheProtocolError",
+]
+
+
+class GThinkerError(Exception):
+    """Base class for all framework errors."""
+
+
+class JobAbortedError(GThinkerError):
+    """A job was aborted before completion (e.g. simulated failure)."""
+
+
+class CheckpointError(GThinkerError):
+    """A checkpoint could not be written or restored."""
+
+
+class TaskError(GThinkerError):
+    """A user UDF raised inside a task; wraps the original exception."""
+
+    def __init__(self, task_id: int, message: str) -> None:
+        super().__init__(f"task {task_id:#x}: {message}")
+        self.task_id = task_id
+
+
+class CacheProtocolError(GThinkerError):
+    """The vertex-cache OP1-OP4 protocol was violated (internal bug guard)."""

@@ -1,0 +1,231 @@
+"""Job assembly and the public ``run_job`` entry point.
+
+Typical use::
+
+    from repro import run_job, GThinkerConfig
+    from repro.apps import TriangleCountComper
+
+    result = run_job(TriangleCountComper, graph, GThinkerConfig(num_workers=4))
+    print(result.aggregate)   # the triangle count
+
+``graph`` may be an in-memory :class:`repro.graph.Graph` (partitioned by
+vertex-id hashing at load, the paper's Pregel-style placement) or a
+:class:`repro.graph.ShardedGraphStore` (each worker parses its own shard,
+the HDFS-loading contract).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..graph.graph import Graph
+from ..graph.io import ShardedGraphStore
+from ..graph.partition import hash_partition
+from ..net.transport import Transport
+from .api import Comper
+from .checkpoint import JobCheckpoint, capture, restore_task
+from .config import GThinkerConfig
+from .errors import JobAbortedError
+from .master import Master
+from .metrics import MetricsRegistry
+from .runtime import Cluster, SerialRuntime, ThreadedRuntime
+from .worker import Worker
+
+__all__ = ["JobResult", "build_cluster", "run_job", "resume_job"]
+
+GraphSource = Union[Graph, ShardedGraphStore]
+
+
+@dataclass
+class JobResult:
+    """What a finished job returns."""
+
+    aggregate: Any
+    outputs: List[Any]
+    metrics: Dict[str, float]
+    elapsed_s: float
+    num_workers: int
+    compers_per_worker: int
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        return self.metrics.get("max:peak_memory_bytes", 0.0)
+
+    @property
+    def network_bytes(self) -> float:
+        return self.metrics.get("net:bytes", 0.0)
+
+
+def _partition_rows(graph: Graph, num_workers: int):
+    """Split an in-memory graph into per-worker row lists."""
+    rows: List[List] = [[] for _ in range(num_workers)]
+    for v in graph.sorted_vertices():
+        rows[hash_partition(v, num_workers)].append(
+            (v, graph.label(v), graph.neighbors(v))
+        )
+    return rows
+
+
+def build_cluster(
+    app_factory: Callable[[], Comper],
+    graph: GraphSource,
+    config: GThinkerConfig,
+    transport: Optional[Transport] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    timed_transport: bool = False,
+) -> Cluster:
+    """Construct workers, load the graph, and wire the master."""
+    metrics = metrics or MetricsRegistry()
+    transport = transport or Transport(
+        config.num_workers,
+        metrics=metrics,
+        network=config.network,
+        timed=timed_transport,
+    )
+    spill_root = Path(config.spill_dir) if config.spill_dir else Path(
+        tempfile.mkdtemp(prefix="gthinker-spill-")
+    )
+    workers = [
+        Worker(
+            worker_id=i,
+            num_workers=config.num_workers,
+            config=config,
+            app_factory=app_factory,
+            transport=transport,
+            metrics=metrics,
+            spill_dir=spill_root,
+        )
+        for i in range(config.num_workers)
+    ]
+    _load_graph(workers, graph, config)
+    master = Master(workers, transport, config, metrics)
+    return Cluster(
+        workers=workers, master=master, transport=transport,
+        metrics=metrics, config=config,
+    )
+
+
+def _load_graph(workers: List[Worker], graph: GraphSource, config: GThinkerConfig) -> None:
+    if isinstance(graph, Graph):
+        for w, rows in zip(workers, _partition_rows(graph, config.num_workers)):
+            w.load_rows(rows)
+        return
+    if isinstance(graph, ShardedGraphStore):
+        if graph.num_shards == config.num_workers:
+            for w in workers:
+                w.load_rows(graph.read_shard(w.worker_id))
+        else:
+            # Shard count mismatch: re-hash every row to its worker.
+            rows: List[List] = [[] for _ in workers]
+            for shard in range(graph.num_shards):
+                for v, label, adj in graph.read_shard(shard):
+                    rows[hash_partition(v, config.num_workers)].append((v, label, adj))
+            for w, r in zip(workers, rows):
+                w.load_rows(r)
+        return
+    raise TypeError(f"unsupported graph source {type(graph)!r}")
+
+
+def _seed_from_checkpoint(cluster: Cluster, ckpt: JobCheckpoint) -> None:
+    if ckpt.num_workers != len(cluster.workers):
+        raise ValueError(
+            f"checkpoint was taken with {ckpt.num_workers} workers, "
+            f"cluster has {len(cluster.workers)}"
+        )
+    cluster.master.global_aggregator.set_value(ckpt.aggregator_global)
+    for w in cluster.workers:
+        w.aggregator.publish_global(ckpt.aggregator_global)
+    for w, snap in zip(cluster.workers, ckpt.worker_snapshots):
+        w.set_spawn_cursor(snap.spawn_cursor)
+        w.set_outputs(snap.outputs)
+        for i, tsnap in enumerate(snap.tasks):
+            engine = w.engines[i % len(w.engines)]
+            engine.add_task(restore_task(tsnap))
+
+
+def _finish(cluster: Cluster, started: float) -> JobResult:
+    for w in cluster.workers:
+        w.cleanup()
+    return JobResult(
+        aggregate=cluster.master.global_aggregator.value,
+        outputs=[rec for w in cluster.workers for rec in w.outputs()],
+        metrics=cluster.metrics.snapshot(),
+        elapsed_s=time.perf_counter() - started,
+        num_workers=cluster.config.num_workers,
+        compers_per_worker=cluster.config.compers_per_worker,
+    )
+
+
+def run_job(
+    app_factory: Callable[[], Comper],
+    graph: GraphSource,
+    config: Optional[GThinkerConfig] = None,
+    runtime: str = "serial",
+    checkpoint_path: Optional[str] = None,
+    abort_after_rounds: Optional[int] = None,
+) -> JobResult:
+    """Run a G-thinker job to completion and return its result.
+
+    Parameters
+    ----------
+    app_factory:
+        A zero-argument callable producing the user's
+        :class:`~repro.core.api.Comper` (one instance per mining thread).
+    runtime:
+        ``"serial"`` (deterministic single thread; supports
+        checkpointing and failure injection) or ``"threaded"`` (real
+        threads, paper-shaped concurrency).
+    checkpoint_path:
+        Where periodic checkpoints go when
+        ``config.checkpoint_every_syncs > 0`` (serial runtime only).
+    abort_after_rounds:
+        Failure injection for fault-tolerance tests (serial runtime).
+    """
+    config = config or GThinkerConfig()
+    cluster = build_cluster(app_factory, graph, config)
+    if checkpoint_path and config.checkpoint_every_syncs > 0:
+        cluster.master.checkpoint_hook = lambda: capture(cluster).save(checkpoint_path)
+    started = time.perf_counter()
+    if runtime == "serial":
+        try:
+            SerialRuntime().run(cluster, abort_after_rounds=abort_after_rounds)
+        except JobAbortedError:
+            for w in cluster.workers:
+                w.cleanup()
+            raise
+    elif runtime == "threaded":
+        if abort_after_rounds is not None:
+            raise ValueError("failure injection requires the serial runtime")
+        ThreadedRuntime().run(cluster)
+    else:
+        raise ValueError(f"unknown runtime {runtime!r} (use 'serial' or 'threaded')")
+    return _finish(cluster, started)
+
+
+def resume_job(
+    app_factory: Callable[[], Comper],
+    graph: GraphSource,
+    checkpoint_path: str,
+    config: Optional[GThinkerConfig] = None,
+    runtime: str = "serial",
+) -> JobResult:
+    """Recover from a checkpoint and run the remainder of the job."""
+    ckpt = JobCheckpoint.load(checkpoint_path)
+    config = config or GThinkerConfig(
+        num_workers=ckpt.num_workers, compers_per_worker=ckpt.compers_per_worker
+    )
+    cluster = build_cluster(app_factory, graph, config)
+    _seed_from_checkpoint(cluster, ckpt)
+    started = time.perf_counter()
+    if runtime == "serial":
+        SerialRuntime().run(cluster)
+    elif runtime == "threaded":
+        ThreadedRuntime().run(cluster)
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}")
+    return _finish(cluster, started)

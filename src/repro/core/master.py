@@ -1,0 +1,123 @@
+"""The master: progress sync, aggregator sync, stealing plans, termination.
+
+The paper's main threads "periodically synchronize job status to monitor
+progress, and to decide task stealing plans among workers", gathered at
+a master worker.  We centralize that logic here; the runtimes call
+:meth:`Master.sync` periodically.
+
+Termination uses a double snapshot: the job is done when two consecutive
+syncs observe (a) zero tasks in memory, on disk and unspawned, (b) zero
+in-flight messages and queued requests, and (c) an unchanged global
+progress counter between the two observations — the counter rules out a
+task being mid-flight between containers during the first snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..net.message import TaskBatchTransfer
+from .aggregator import GlobalAggregator
+from .worker import Worker
+
+__all__ = ["Master"]
+
+
+class Master:
+    def __init__(self, workers: List[Worker], transport, config, metrics) -> None:
+        self.workers = workers
+        self.transport = transport
+        self.config = config
+        self.metrics = metrics
+        self.global_aggregator = GlobalAggregator(
+            workers[0].aggregator._agg if workers else None
+        )
+        self.done = False
+        self._prev_idle = False
+        self._prev_progress = -1
+        self._sync_count = 0
+        self.checkpoint_hook = None  # set by the job when checkpointing is on
+
+    # -- one synchronization round ----------------------------------------
+
+    def sync(self, now: float = 0.0) -> bool:
+        """Aggregate, plan steals, refresh gauges, detect termination.
+
+        Returns True when the job has completed.
+        """
+        if self.done:
+            return True
+        self._sync_count += 1
+        self.global_aggregator.sync([w.aggregator for w in self.workers])
+        for w in self.workers:
+            w.update_memory_gauge()
+        if self.config.steal_enabled and len(self.workers) > 1:
+            self._plan_and_execute_steals(now)
+        if (
+            self.checkpoint_hook is not None
+            and self.config.checkpoint_every_syncs > 0
+            and self._sync_count % self.config.checkpoint_every_syncs == 0
+        ):
+            self.checkpoint_hook()
+        if self._check_termination():
+            # Final aggregator synchronization before the job terminates
+            # ("another synchronization is performed to make sure data
+            # from all tasks are aggregated").
+            self.global_aggregator.sync([w.aggregator for w in self.workers])
+            self.done = True
+        return self.done
+
+    # -- work stealing --------------------------------------------------------
+
+    def _plan_and_execute_steals(self, now: float) -> None:
+        estimates = [(w.remaining_workload_estimate(), w.worker_id) for w in self.workers]
+        batch = self.config.task_batch_size
+        for _ in range(self.config.steal_batches):
+            estimates.sort()
+            low_est, low_id = estimates[0]
+            high_est, high_id = estimates[-1]
+            if high_est - low_est <= 2 * batch:
+                return
+            victim = self.workers[high_id]
+            moved = self._steal_one_batch(victim, low_id, now)
+            if moved == 0:
+                return
+            estimates[0] = (low_est + moved, low_id)
+            estimates[-1] = (high_est - moved, high_id)
+            self.metrics.add("steal:batches")
+            self.metrics.add("steal:tasks", moved)
+
+    def _steal_one_batch(self, victim: Worker, thief_id: int, now: float) -> int:
+        """Move one task batch from victim to thief over the transport."""
+        payload_info = victim.l_file.take_payload()
+        if payload_info is None:
+            payload_info = victim.spawn_batch_payload(self.config.task_batch_size)
+        if payload_info is None:
+            return 0
+        payload, count = payload_info
+        self.transport.send(
+            TaskBatchTransfer(
+                src=victim.worker_id, dst=thief_id, payload=payload, num_tasks=count
+            ),
+            now=now,
+        )
+        return count
+
+    # -- termination detection ------------------------------------------------------
+
+    def _snapshot(self) -> Tuple[bool, int]:
+        tasks = sum(w.tasks_in_memory() for w in self.workers)
+        on_disk = sum(len(w.l_file) for w in self.workers)
+        unspawned = sum(w.unspawned_count() for w in self.workers)
+        outgoing = sum(w.comm.pending_outgoing() for w in self.workers)
+        in_flight = self.transport.in_flight
+        idle = tasks == 0 and on_disk == 0 and unspawned == 0 and outgoing == 0 and in_flight == 0
+        progress = sum(w.progress.value for w in self.workers)
+        return idle, progress
+
+    def _check_termination(self) -> bool:
+        idle, progress = self._snapshot()
+        result = idle and self._prev_idle and progress == self._prev_progress
+        self._prev_idle = idle
+        self._prev_progress = progress
+        return result

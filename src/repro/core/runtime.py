@@ -1,0 +1,145 @@
+"""Execution runtimes: deterministic serial and real-thread.
+
+Both runtimes drive the same components (comm services, comper engines,
+GC, master); only the interleaving differs:
+
+* :class:`SerialRuntime` — steps every component round-robin in one
+  thread.  Deterministic; the default for tests and the substrate the
+  checkpointing support relies on (components are quiescent between
+  steps).
+* :class:`ThreadedRuntime` — one OS thread per comper plus one comm/GC
+  thread per worker, mirroring the paper's thread layout.  Exercises the
+  real lock protocols (bucketed cache, concurrent containers).  The GIL
+  serializes Python bytecode, so this runtime demonstrates correctness
+  under concurrency, not wall-clock speedup — the discrete-event runtime
+  in :mod:`repro.sim` covers performance shape (see DESIGN.md).
+
+A :class:`Cluster` is the bag of components a runtime drives.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .config import GThinkerConfig
+from .errors import GThinkerError, JobAbortedError
+from .master import Master
+from .metrics import MetricsRegistry
+from .worker import Worker
+
+__all__ = ["Cluster", "SerialRuntime", "ThreadedRuntime"]
+
+
+@dataclass
+class Cluster:
+    workers: List[Worker]
+    master: Master
+    transport: object
+    metrics: MetricsRegistry
+    config: GThinkerConfig
+
+
+class SerialRuntime:
+    """Deterministic round-robin scheduler."""
+
+    def __init__(self, max_rounds: int = 50_000_000) -> None:
+        self.max_rounds = max_rounds
+
+    def run(self, cluster: Cluster, abort_after_rounds: Optional[int] = None) -> None:
+        """Drive the cluster to completion.
+
+        ``abort_after_rounds`` injects a failure after that many rounds
+        (fault-tolerance tests): the job stops with
+        :class:`JobAbortedError` leaving the last checkpoint on disk.
+        """
+        cfg = cluster.config
+        rounds = 0
+        while True:
+            worked = False
+            for w in cluster.workers:
+                worked = w.comm.step() or worked
+                for engine in w.engines:
+                    worked = engine.step() or worked
+                worked = w.gc_step() or worked
+            rounds += 1
+            if abort_after_rounds is not None and rounds >= abort_after_rounds:
+                raise JobAbortedError(f"injected failure after {rounds} rounds")
+            if rounds % cfg.sync_every_rounds == 0 or not worked:
+                if cluster.master.sync():
+                    return
+            if rounds > self.max_rounds:
+                raise GThinkerError(
+                    f"job did not terminate within {self.max_rounds} rounds "
+                    f"(likely a livelock bug)"
+                )
+
+
+class ThreadedRuntime:
+    """One thread per comper + one service thread per worker."""
+
+    IDLE_SLEEP_S = 0.0005
+
+    def __init__(self, join_timeout_s: float = 120.0) -> None:
+        self.join_timeout_s = join_timeout_s
+
+    def run(self, cluster: Cluster) -> None:
+        stop = threading.Event()
+        errors: List[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def record_error(exc: BaseException) -> None:
+            with errors_lock:
+                errors.append(exc)
+            stop.set()
+
+        def comper_loop(engine) -> None:
+            try:
+                while not stop.is_set():
+                    if not engine.step():
+                        time.sleep(self.IDLE_SLEEP_S)
+            except BaseException as exc:  # propagate to the main thread
+                record_error(exc)
+
+        def service_loop(worker) -> None:
+            try:
+                while not stop.is_set():
+                    worked = worker.comm.step()
+                    worked = worker.gc_step() or worked
+                    if not worked:
+                        time.sleep(self.IDLE_SLEEP_S)
+            except BaseException as exc:
+                record_error(exc)
+
+        threads: List[threading.Thread] = []
+        for w in cluster.workers:
+            threads.append(
+                threading.Thread(target=service_loop, args=(w,), daemon=True,
+                                 name=f"svc-{w.worker_id}")
+            )
+            for engine in w.engines:
+                threads.append(
+                    threading.Thread(target=comper_loop, args=(engine,), daemon=True,
+                                     name=f"comper-{engine.global_id}")
+                )
+        for t in threads:
+            t.start()
+
+        deadline = time.monotonic() + self.join_timeout_s
+        try:
+            while not stop.is_set():
+                if cluster.master.sync():
+                    break
+                if time.monotonic() > deadline:
+                    raise GThinkerError(
+                        f"threaded job exceeded {self.join_timeout_s}s"
+                    )
+                time.sleep(cluster.config.aggregator_sync_period_s)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=5.0)
+        if errors:
+            raise errors[0]

@@ -1,0 +1,120 @@
+"""The ``Subgraph`` abstraction a task constructs and mines upon.
+
+A task's subgraph ``t.g`` is private to the task (tasks never share
+mutable state — that independence is one of the paper's desirabilities),
+so unlike :class:`repro.graph.Graph` it is mutable and grows as the task
+pulls vertices.  It stores plain ``{v: tuple}`` adjacency so the serial
+miners in :mod:`repro.algorithms` can run on it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Subgraph"]
+
+
+class Subgraph:
+    """A growable vertex-induced subgraph owned by one task."""
+
+    __slots__ = ("_adj", "_labels")
+
+    def __init__(self) -> None:
+        self._adj: Dict[int, Tuple[int, ...]] = {}
+        self._labels: Dict[int, int] = {}
+
+    # -- growth ----------------------------------------------------------
+
+    def add_vertex(
+        self,
+        v: int,
+        adj: Iterable[int],
+        label: int = 0,
+        keep_only: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Add ``v`` with its adjacency list.
+
+        ``keep_only`` filters the adjacency to a candidate set while
+        copying — the paper's Fig. 5 line 2 filtering ("we filter any
+        adjacency list item w if w not in Gamma_>(v)") without an extra
+        pass.  Re-adding a vertex overwrites its row.
+        """
+        if keep_only is not None:
+            keep = keep_only if isinstance(keep_only, (set, frozenset)) else set(keep_only)
+            row = tuple(u for u in adj if u in keep)
+        else:
+            row = tuple(adj)
+        self._adj[v] = row
+        if label:
+            self._labels[v] = label
+
+    def remove_vertex(self, v: int) -> None:
+        """Drop ``v``'s row (does not rewrite other rows; use
+        :meth:`induced` for a clean cut)."""
+        self._adj.pop(v, None)
+        self._labels.pop(v, None)
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        return self._adj[v]
+
+    def label(self, v: int) -> int:
+        return self._labels.get(v, 0)
+
+    def adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        """The underlying mapping (shared, do not mutate rows)."""
+        return self._adj
+
+    def symmetrize(self) -> None:
+        """Make adjacency symmetric (and rows sorted) in place.
+
+        Needed when rows were built from ``Γ_>``-trimmed pulls: the
+        set-enumeration apps pull only larger-id adjacency to halve
+        traffic, but the serial miners expect undirected adjacency.
+        Only edges between *present* vertices are mirrored.
+        """
+        undirected: Dict[int, set] = {v: set() for v in self._adj}
+        for v, row in self._adj.items():
+            for u in row:
+                if u in undirected:
+                    undirected[v].add(u)
+                    undirected[u].add(v)
+        for v in undirected:
+            self._adj[v] = tuple(sorted(undirected[v]))
+
+    # -- derivation ---------------------------------------------------------
+
+    def induced(self, vertices: Iterable[int]) -> "Subgraph":
+        """A new subgraph induced on ``vertices`` (rows filtered)."""
+        vset = set(vertices)
+        out = Subgraph()
+        for v in vset:
+            row = self._adj.get(v)
+            if row is None:
+                continue
+            out._adj[v] = tuple(u for u in row if u in vset)
+            if v in self._labels:
+                out._labels[v] = self._labels[v]
+        return out
+
+    def memory_estimate_bytes(self) -> int:
+        """Modeled C++ footprint (see ``WorkerMemoryModel``)."""
+        return sum(24 + 8 * len(a) for a in self._adj.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        edges = sum(len(a) for a in self._adj.values())
+        return f"Subgraph(|V|={len(self._adj)}, adj-entries={edges})"

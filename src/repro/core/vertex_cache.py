@@ -1,0 +1,316 @@
+"""The highly-concurrent remote-vertex cache ``T_cache`` (paper §V-A, Fig. 6).
+
+``T_cache`` is an array of ``k`` buckets, each guarded by its own mutex
+so operations on vertices hashed to different buckets proceed in
+parallel.  Each bucket holds three tables:
+
+* **Γ-table** — cached vertices ``(v, Γ(v))`` with a ``lock_count(v)``
+  of tasks currently using ``v``;
+* **Z-table** — the subset of Γ-table entries with ``lock_count == 0``
+  (safe to evict; lets GC scan only evictables while holding the lock);
+* **R-table** — vertices requested but not yet received, each with the
+  id list of waiting tasks (``lock_count`` is that list's length plus
+  any extra holds).
+
+The four atomic operations:
+
+* **OP1** :meth:`VertexCache.request` — a comper asks for ``Γ(v)``;
+* **OP2** :meth:`VertexCache.insert_response` — the receiving thread
+  moves ``v`` from R-table to Γ-table, transferring its lock count;
+* **OP3** :meth:`VertexCache.release` — a task releases ``v`` after an
+  iteration; at zero the vertex enters the Z-table;
+* **OP4** :meth:`VertexCache.evict` — GC removes Z-table entries,
+  round-robin over buckets, until the overflow is cleared.
+
+The cache size ``s_cache`` counts Γ-table plus R-table entries and is
+maintained *approximately*: each thread accumulates a local delta and
+commits it when it reaches ±δ (paper default δ=10), bounding contention
+on the shared counter while keeping the estimation error below
+``n_threads · δ``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .errors import CacheProtocolError
+from .metrics import MetricsRegistry
+
+__all__ = ["VertexCache", "CachedVertex", "RequestOutcome"]
+
+
+@dataclass
+class CachedVertex:
+    """A Γ-table entry."""
+
+    vid: int
+    label: int
+    adj: Tuple[int, ...]
+    lock_count: int = 0
+
+    def memory_estimate_bytes(self) -> int:
+        return 32 + 8 * len(self.adj)
+
+
+@dataclass
+class _PendingRequest:
+    """An R-table entry: tasks waiting for the response."""
+
+    waiting_task_ids: List[int] = field(default_factory=list)
+
+    @property
+    def lock_count(self) -> int:
+        return len(self.waiting_task_ids)
+
+
+class RequestOutcome:
+    """Result of OP1."""
+
+    HIT = "hit"                    # Γ(v) available; entry returned, lock taken
+    MISS_SEND = "miss_send"        # first request: caller must send it
+    MISS_DUPLICATE = "miss_dup"    # already requested by another task: wait
+
+    __slots__ = ("status", "entry")
+
+    def __init__(self, status: str, entry: Optional[CachedVertex] = None) -> None:
+        self.status = status
+        self.entry = entry
+
+
+class _Bucket:
+    __slots__ = ("lock", "gamma", "zero", "requests")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.gamma: Dict[int, CachedVertex] = {}
+        self.zero: Set[int] = set()
+        self.requests: Dict[int, _PendingRequest] = {}
+
+
+class VertexCache:
+    """The ``T_cache`` structure shared by all compers of one worker."""
+
+    def __init__(
+        self,
+        num_buckets: int,
+        capacity: int,
+        overflow_alpha: float,
+        count_delta: int = 10,
+        metrics: Optional[MetricsRegistry] = None,
+        memory_model=None,
+    ) -> None:
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        self._buckets = [_Bucket() for _ in range(num_buckets)]
+        self._num_buckets = num_buckets
+        self.capacity = capacity
+        self.overflow_alpha = overflow_alpha
+        self._count_delta = max(1, count_delta)
+        self._metrics = metrics or MetricsRegistry()
+        self._memory_model = memory_model
+
+        # Approximate size counter s_cache with per-thread local deltas.
+        self._s_cache = 0
+        self._s_cache_lock = threading.Lock()
+        self._local = threading.local()
+
+        # GC round-robin cursor over buckets.
+        self._gc_cursor = 0
+
+    # -- bucket addressing ------------------------------------------------
+
+    def _bucket(self, v: int) -> _Bucket:
+        return self._buckets[v % self._num_buckets]
+
+    # -- approximate size counter ------------------------------------------
+
+    def _local_delta(self) -> int:
+        return getattr(self._local, "delta", 0)
+
+    def _bump(self, amount: int) -> None:
+        delta = self._local_delta() + amount
+        if abs(delta) >= self._count_delta:
+            with self._s_cache_lock:
+                self._s_cache += delta
+            delta = 0
+        self._local.delta = delta
+
+    def flush_local_counter(self) -> None:
+        """Commit this thread's pending delta (call when a thread parks)."""
+        delta = self._local_delta()
+        if delta:
+            with self._s_cache_lock:
+                self._s_cache += delta
+            self._local.delta = 0
+
+    @property
+    def size_estimate(self) -> int:
+        """The approximate ``s_cache`` (committed part only)."""
+        with self._s_cache_lock:
+            return self._s_cache
+
+    def exact_size(self) -> int:
+        """Exact |Γ-tables| + |R-tables| (test/diagnostic use; takes all locks)."""
+        total = 0
+        for b in self._buckets:
+            with b.lock:
+                total += len(b.gamma) + len(b.requests)
+        return total
+
+    def overflowed(self) -> bool:
+        """True when ``s_cache > (1 + α) · c_cache`` — compers must stop
+        fetching new tasks and GC must act."""
+        return self.size_estimate > (1 + self.overflow_alpha) * self.capacity
+
+    # -- OP1: comper requests Γ(v) -------------------------------------------
+
+    def request(self, v: int, task_id: int) -> RequestOutcome:
+        """A task asks for ``Γ(v)``.
+
+        Returns HIT with the entry (lock count incremented), or
+        MISS_SEND (v entered the R-table for the first time — the caller
+        must append a network request), or MISS_DUPLICATE (another task
+        already requested v; this task is queued on the same response).
+        """
+        b = self._bucket(v)
+        with b.lock:
+            entry = b.gamma.get(v)
+            if entry is not None:
+                # Case 1: cached.  Take a lock; leave the Z-table if there.
+                if entry.lock_count == 0:
+                    b.zero.discard(v)
+                entry.lock_count += 1
+                self._metrics.add("cache:hits")
+                return RequestOutcome(RequestOutcome.HIT, entry)
+            pending = b.requests.get(v)
+            if pending is None:
+                # Case 2.1: first request for v.
+                b.requests[v] = _PendingRequest([task_id])
+                self._metrics.add("cache:miss_first")
+                new_entry = True
+            else:
+                # Case 2.2: duplicate request — suppressed.
+                pending.waiting_task_ids.append(task_id)
+                self._metrics.add("cache:miss_duplicate")
+                new_entry = False
+        if new_entry:
+            self._bump(+1)
+            return RequestOutcome(RequestOutcome.MISS_SEND)
+        return RequestOutcome(RequestOutcome.MISS_DUPLICATE)
+
+    # -- OP2: receiving thread inserts a response ------------------------------
+
+    def insert_response(self, v: int, label: int, adj: Tuple[int, ...]) -> List[int]:
+        """Move ``v`` from R-table to Γ-table; returns the waiting task ids.
+
+        The lock count transfers: every waiting task already holds one
+        lock on ``v`` (taken at request time), so the new Γ-entry starts
+        with ``len(waiting)`` locks.
+        """
+        b = self._bucket(v)
+        with b.lock:
+            pending = b.requests.pop(v, None)
+            if pending is None:
+                raise CacheProtocolError(
+                    f"response for vertex {v} that has no R-table entry"
+                )
+            if v in b.gamma:
+                raise CacheProtocolError(f"vertex {v} already in Γ-table")
+            entry = CachedVertex(v, label, tuple(adj), lock_count=pending.lock_count)
+            b.gamma[v] = entry
+            waiting = list(pending.waiting_task_ids)
+        # s_cache unchanged (R-table entry became a Γ-table entry).
+        if self._memory_model is not None:
+            self._memory_model.add_cache(entry.memory_estimate_bytes())
+        self._metrics.add("cache:responses")
+        return waiting
+
+    # -- OP3: task releases a vertex after an iteration -------------------------
+
+    def release(self, v: int) -> None:
+        """Decrement ``lock_count(v)``; at zero, enter the Z-table."""
+        b = self._bucket(v)
+        with b.lock:
+            entry = b.gamma.get(v)
+            if entry is None or entry.lock_count <= 0:
+                raise CacheProtocolError(
+                    f"release of vertex {v} that is not locked in the Γ-table"
+                )
+            entry.lock_count -= 1
+            if entry.lock_count == 0:
+                b.zero.add(v)
+
+    # -- reads for ready tasks (no extra lock taken) -----------------------------
+
+    def get_locked(self, v: int) -> CachedVertex:
+        """Fetch a vertex this task already holds a lock on.
+
+        Used when a pending task becomes ready: its request locks were
+        taken at OP1 time, so resolution must *not* re-increment.
+        """
+        b = self._bucket(v)
+        with b.lock:
+            entry = b.gamma.get(v)
+            if entry is None or entry.lock_count <= 0:
+                raise CacheProtocolError(
+                    f"vertex {v} expected locked in Γ-table but is not"
+                )
+            return entry
+
+    # -- OP4: garbage collection ----------------------------------------------
+
+    def evict(self, max_evictions: Optional[int] = None) -> int:
+        """Evict up to ``max_evictions`` zero-lock vertices, round-robin
+        over buckets; returns how many were evicted.
+
+        With ``max_evictions=None``, clears the current overflow
+        ``s_cache - c_cache`` (the paper's δ_cache batch).
+        """
+        if max_evictions is None:
+            max_evictions = max(0, self.size_estimate - self.capacity)
+        evicted = 0
+        scanned_buckets = 0
+        freed_bytes = 0
+        while evicted < max_evictions and scanned_buckets < self._num_buckets:
+            b = self._buckets[self._gc_cursor]
+            self._gc_cursor = (self._gc_cursor + 1) % self._num_buckets
+            scanned_buckets += 1
+            with b.lock:
+                while b.zero and evicted < max_evictions:
+                    v = b.zero.pop()
+                    entry = b.gamma.pop(v)
+                    freed_bytes += entry.memory_estimate_bytes()
+                    evicted += 1
+        if evicted:
+            with self._s_cache_lock:
+                self._s_cache -= evicted
+            if self._memory_model is not None:
+                self._memory_model.add_cache(-freed_bytes)
+            self._metrics.add("cache:evictions", evicted)
+        return evicted
+
+    # -- invariant checks (tests) -------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (single-threaded contexts only)."""
+        for b in self._buckets:
+            with b.lock:
+                for v in b.zero:
+                    if v not in b.gamma:
+                        raise CacheProtocolError(f"Z-table entry {v} not in Γ-table")
+                    if b.gamma[v].lock_count != 0:
+                        raise CacheProtocolError(
+                            f"Z-table entry {v} has lock_count "
+                            f"{b.gamma[v].lock_count}"
+                        )
+                for v, entry in b.gamma.items():
+                    if entry.lock_count == 0 and v not in b.zero:
+                        raise CacheProtocolError(
+                            f"Γ-table entry {v} has zero locks but is not in Z-table"
+                        )
+                    if entry.lock_count < 0:
+                        raise CacheProtocolError(f"negative lock count on {v}")
+                    if v in b.requests:
+                        raise CacheProtocolError(f"{v} in both Γ-table and R-table")

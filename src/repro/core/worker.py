@@ -1,0 +1,330 @@
+"""The worker: one simulated machine (paper Fig. 3, left side).
+
+A worker owns:
+
+* the local vertex table ``T_local`` (its hash partition of the graph,
+  trimmed at load time if the app provides a Trimmer);
+* the shared remote-vertex cache ``T_cache``;
+* the spilled-task file list ``L_file`` and its spill directory;
+* one :class:`~repro.core.comper.ComperEngine` per mining thread;
+* the :class:`~repro.core.comm.CommService` and the GC step;
+* the worker-side aggregator service and the output sink.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..graph.partition import hash_partition
+from .aggregator import AggregatorService
+from .api import Comper, Task, VertexView
+from .comm import CommService
+from .comper import ComperEngine
+from .config import GThinkerConfig
+from .containers import TaskFileList, serialize_tasks
+from .metrics import MetricsRegistry, WorkerMemoryModel
+from .vertex_cache import VertexCache
+
+__all__ = ["Worker", "AtomicCounter"]
+
+
+class AtomicCounter:
+    """A lock-guarded counter (GIL does not make ``+=`` atomic)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class CostMeter:
+    """Accumulates modeled extra costs (disk IO seconds) during a step.
+
+    The DES runtime drains it after each entity step and adds the value
+    to the entity's virtual duration; the real runtimes never read it.
+    """
+
+    __slots__ = ("_lock", "_seconds")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        with self._lock:
+            self._seconds += seconds
+
+    def drain(self) -> float:
+        with self._lock:
+            out, self._seconds = self._seconds, 0.0
+            return out
+
+
+class _CollectorEngine:
+    """An engine stand-in that collects spawned tasks into a list.
+
+    Used by work stealing: the victim spawns a batch of fresh tasks to
+    ship away, so ``add_task`` must not land in any local ``Q_task``.
+    """
+
+    def __init__(self, worker: "Worker") -> None:
+        self.worker = worker
+        self.collected: List[Task] = []
+
+    @property
+    def config(self) -> GThinkerConfig:
+        return self.worker.config
+
+    def add_task(self, task: Task) -> None:
+        self.collected.append(task)
+
+    def aggregate(self, value) -> None:
+        self.worker.aggregator.aggregate(value)
+
+    def aggregator_view(self):
+        return self.worker.aggregator.view()
+
+    def output(self, record) -> None:
+        self.worker.add_output(record)
+
+
+class Worker:
+    """One machine of the cluster."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        num_workers: int,
+        config: GThinkerConfig,
+        app_factory: Callable[[], Comper],
+        transport,
+        metrics: MetricsRegistry,
+        spill_dir: Path,
+    ) -> None:
+        self.worker_id = worker_id
+        self.num_workers = num_workers
+        self.config = config
+        self.transport = transport
+        self.metrics = metrics
+        self.memory = WorkerMemoryModel(metrics, worker_id)
+
+        self._local: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        self._spawn_order: List[int] = []
+        self._spawn_next = 0
+        self._spawn_lock = threading.Lock()
+
+        self.cache = VertexCache(
+            num_buckets=config.cache_buckets,
+            capacity=config.cache_capacity,
+            overflow_alpha=config.cache_overflow_alpha,
+            count_delta=config.cache_count_delta,
+            metrics=metrics,
+            memory_model=self.memory,
+        )
+        self.l_file = TaskFileList(spill_dir / f"worker-{worker_id}", metrics=metrics)
+        self.comm = CommService(self)
+
+        prototype = app_factory()
+        self.aggregator = AggregatorService(prototype.make_aggregator())
+        self._trimmer = prototype.make_trimmer()
+
+        self.engines: List[ComperEngine] = []
+        base = worker_id * config.compers_per_worker
+        for i in range(config.compers_per_worker):
+            app = app_factory()
+            self.engines.append(ComperEngine(base + i, self, app))
+        self._steal_app = app_factory()
+
+        self._outputs: List[Any] = []
+        self._outputs_lock = threading.Lock()
+        self.progress = AtomicCounter()
+        self.cost_meter = CostMeter()
+
+    # -- graph loading ------------------------------------------------------
+
+    def load_rows(self, rows) -> None:
+        """Load ``(v, label, adj)`` rows into ``T_local`` (trimmed)."""
+        for v, label, adj in rows:
+            adj = tuple(adj)
+            if self._trimmer is not None:
+                adj = tuple(self._trimmer.trim(v, label, adj))
+            self._local[v] = (label, adj)
+        self._spawn_order = sorted(self._local)
+        self.memory.set_local_table(
+            sum(24 + 8 * len(adj) for (_l, adj) in self._local.values())
+        )
+
+    # -- vertex access ----------------------------------------------------------
+
+    def owner_of(self, v: int) -> int:
+        return hash_partition(v, self.num_workers)
+
+    def owns_vertex(self, v: int) -> bool:
+        return self.owner_of(v) == self.worker_id
+
+    def local_view(self, v: int) -> Optional[VertexView]:
+        """A view of a locally stored vertex, or None if not local."""
+        entry = self._local.get(v)
+        if entry is None:
+            if self.owns_vertex(v):
+                raise KeyError(
+                    f"vertex {v} hashes to worker {self.worker_id} but is not "
+                    f"in the local table (bad vertex id in a pull?)"
+                )
+            return None
+        label, adj = entry
+        return VertexView(v, label, adj)
+
+    def local_entry(self, v: int) -> Tuple[int, Tuple[int, ...]]:
+        """Serve a remote pull from ``T_local`` (raises on unknown ids)."""
+        try:
+            label, adj = self._local[v]
+        except KeyError:
+            raise KeyError(
+                f"worker {self.worker_id} asked to serve vertex {v} it does not own"
+            ) from None
+        return label, adj
+
+    @property
+    def num_local_vertices(self) -> int:
+        return len(self._local)
+
+    # -- task spawning --------------------------------------------------------------
+
+    def spawn_into(self, engine: ComperEngine, room: int) -> int:
+        """Spawn fresh tasks into ``engine``'s queue by advancing the
+        shared "next" pointer over ``T_local`` (paper Fig. 7)."""
+        spawned_from = 0
+        exhausted = False
+        while engine.q_task.refill_room() > 0 and spawned_from < 4 * room:
+            with self._spawn_lock:
+                if self._spawn_next >= len(self._spawn_order):
+                    exhausted = True
+                    break
+                v = self._spawn_order[self._spawn_next]
+                self._spawn_next += 1
+            label, adj = self._local[v]
+            engine.app.task_spawn(VertexView(v, label, adj))
+            spawned_from += 1
+            self.note_progress()
+        if exhausted and not engine.spawn_flushed:
+            # Let bundling apps emit their final partial bundle, exactly
+            # once per comper.
+            engine.spawn_flushed = True
+            engine.app.spawn_flush()
+        return spawned_from
+
+    def spawn_batch_payload(self, max_tasks: int) -> Optional[Tuple[bytes, int]]:
+        """Produce a serialized batch of fresh tasks for work stealing."""
+        collector = _CollectorEngine(self)
+        self._steal_app.bind_engine(collector)
+        exhausted = False
+        while len(collector.collected) < max_tasks:
+            with self._spawn_lock:
+                if self._spawn_next >= len(self._spawn_order):
+                    exhausted = True
+                    break
+                v = self._spawn_order[self._spawn_next]
+                self._spawn_next += 1
+            label, adj = self._local[v]
+            self._steal_app.task_spawn(VertexView(v, label, adj))
+            self.note_progress()
+        if exhausted:
+            # Bundling apps: ship the partial bundle rather than lose it.
+            self._steal_app.spawn_flush()
+        if not collector.collected:
+            return None
+        return serialize_tasks(collector.collected), len(collector.collected)
+
+    def unspawned_count(self) -> int:
+        with self._spawn_lock:
+            return len(self._spawn_order) - self._spawn_next
+
+    def spawn_cursor(self) -> int:
+        with self._spawn_lock:
+            return self._spawn_next
+
+    def set_spawn_cursor(self, value: int) -> None:
+        """Checkpoint-restore hook."""
+        with self._spawn_lock:
+            self._spawn_next = value
+
+    # -- outputs ------------------------------------------------------------------------
+
+    def add_output(self, record: Any) -> None:
+        with self._outputs_lock:
+            self._outputs.append(record)
+
+    def outputs(self) -> List[Any]:
+        with self._outputs_lock:
+            return list(self._outputs)
+
+    def set_outputs(self, records: Sequence[Any]) -> None:
+        with self._outputs_lock:
+            self._outputs = list(records)
+
+    # -- progress / status ------------------------------------------------------------------
+
+    def note_progress(self) -> None:
+        self.progress.increment()
+
+    def engine_by_global_id(self, global_comper_id: int) -> ComperEngine:
+        base = self.worker_id * self.config.compers_per_worker
+        idx = global_comper_id - base
+        if not 0 <= idx < len(self.engines):
+            raise KeyError(
+                f"comper {global_comper_id} does not belong to worker {self.worker_id}"
+            )
+        return self.engines[idx]
+
+    def tasks_in_memory(self) -> int:
+        return sum(e.tasks_in_memory() for e in self.engines)
+
+    def gc_step(self) -> bool:
+        """The GC thread's body: lazy eviction on overflow (paper §V-A)."""
+        if self.cache.overflowed():
+            evicted = self.cache.evict()
+            return evicted > 0
+        return False
+
+    def update_memory_gauge(self) -> None:
+        """Refresh the modeled task-pool footprint (called at sync points)."""
+        task_bytes = 0
+        for e in self.engines:
+            # The owning comper mutates Q_task concurrently in threaded
+            # mode; deque iteration then raises RuntimeError.  The gauge
+            # is an estimate, so fall back to a per-task constant rather
+            # than locking the hot path.
+            try:
+                task_bytes += sum(
+                    t.memory_estimate_bytes() for t in list(e.q_task._q)
+                )
+            except RuntimeError:
+                task_bytes += 256 * len(e.q_task)
+        # B_task / T_task tasks are counted coarsely by count to avoid
+        # locking every container for long; their subgraphs dominate via
+        # the cache bytes anyway.
+        pending = sum(e.pending_load() for e in self.engines)
+        task_bytes += 128 * pending
+        self.memory.add_tasks(task_bytes - getattr(self, "_last_task_bytes", 0))
+        self._last_task_bytes = task_bytes
+
+    def remaining_workload_estimate(self) -> int:
+        """Steal-planning signal: batches on disk + unspawned vertices."""
+        return self.l_file.num_tasks_on_disk() + self.unspawned_count()
+
+    def cleanup(self) -> None:
+        self.l_file.cleanup()

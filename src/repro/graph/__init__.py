@@ -1,0 +1,56 @@
+"""Graph substrate: representation, generators, sharded IO, partitioning."""
+
+from .graph import Graph, adjacency_suffix_gt, intersect_sorted, intersect_sorted_count
+from .generators import (
+    barabasi_albert,
+    erdos_renyi,
+    plant_clique,
+    plant_cliques,
+    ring_of_cliques,
+    rmat,
+    star_burst,
+    with_random_labels,
+)
+from .io import (
+    ShardedGraphStore,
+    read_adjacency,
+    read_edge_list,
+    write_adjacency,
+    write_edge_list,
+)
+from .partition import hash_partition, owner_map, partition_counts
+from .datasets import DATASETS, DatasetSpec, dataset_stats, make_dataset
+from .kcore import core_numbers, degeneracy, degeneracy_order, greedy_clique_seed
+from .csr import CSRGraph
+
+__all__ = [
+    "Graph",
+    "adjacency_suffix_gt",
+    "intersect_sorted",
+    "intersect_sorted_count",
+    "erdos_renyi",
+    "barabasi_albert",
+    "rmat",
+    "plant_clique",
+    "plant_cliques",
+    "ring_of_cliques",
+    "star_burst",
+    "with_random_labels",
+    "ShardedGraphStore",
+    "read_adjacency",
+    "read_edge_list",
+    "write_adjacency",
+    "write_edge_list",
+    "hash_partition",
+    "owner_map",
+    "partition_counts",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_stats",
+    "make_dataset",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_order",
+    "greedy_clique_seed",
+    "CSRGraph",
+]

@@ -1,0 +1,261 @@
+"""In-memory graph representation used throughout the reproduction.
+
+G-thinker stores a graph as a set of vertices, each with its adjacency
+list ``Gamma(v)`` (the paper's :math:`\\Gamma(v)`).  We mirror that: a
+:class:`Graph` is a mapping from vertex id to a *sorted tuple* of
+neighbor ids.  Sorted adjacency enables the paper's ``Gamma_gt`` trimming
+(neighbors with larger id, written :math:`\\Gamma_{>}(v)`) via a single
+binary search, and linear-time sorted-set intersection inside the serial
+miners.
+
+Vertices may optionally carry labels (used by subgraph matching).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Graph",
+    "adjacency_suffix_gt",
+    "intersect_sorted",
+    "intersect_sorted_count",
+]
+
+
+def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Intersect two sorted integer sequences in ``O(|a| + |b|)``.
+
+    This is the hot kernel of every serial miner (clique extension,
+    triangle closing); keeping it branch-light matters.
+    """
+    out: List[int] = []
+    i, j = 0, 0
+    la, lb = len(a), len(b)
+    # Galloping would help for very skewed sizes, but the simple merge is
+    # what the paper's serial miners use and is fast enough in practice.
+    while i < la and j < lb:
+        x, y = a[i], b[j]
+        if x == y:
+            out.append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def intersect_sorted_count(a: Sequence[int], b: Sequence[int]) -> int:
+    """Count the intersection of two sorted sequences without materializing."""
+    n = 0
+    i, j = 0, 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        x, y = a[i], b[j]
+        if x == y:
+            n += 1
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return n
+
+
+def adjacency_suffix_gt(adj: Sequence[int], v: int) -> Tuple[int, ...]:
+    """Return the suffix of a sorted adjacency list with ids ``> v``.
+
+    Implements the paper's :math:`\\Gamma_{>}(v)` trimming used by the
+    set-enumeration search (Fig. 1): a vertex set ``S`` is only extended
+    by neighbors larger than its largest member.
+    """
+    idx = bisect.bisect_right(adj, v)
+    return tuple(adj[idx:])
+
+
+class Graph:
+    """An undirected graph stored as sorted adjacency lists.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from vertex id to an iterable of neighbor ids.  Neighbor
+        lists are deduplicated, sorted, and self-loops are dropped.
+    labels:
+        Optional mapping from vertex id to an integer label (for labeled
+        workloads such as subgraph matching).  Unlabeled vertices default
+        to label ``0``.
+    """
+
+    __slots__ = ("_adj", "_labels", "_num_edges")
+
+    def __init__(
+        self,
+        adjacency: Optional[Mapping[int, Iterable[int]]] = None,
+        labels: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self._adj: Dict[int, Tuple[int, ...]] = {}
+        self._labels: Dict[int, int] = dict(labels) if labels else {}
+        self._num_edges = 0
+        if adjacency:
+            for v, nbrs in adjacency.items():
+                cleaned = sorted({u for u in nbrs if u != v})
+                self._adj[v] = tuple(cleaned)
+            # Ensure symmetry-closure of the vertex set: a neighbor that
+            # has no row of its own becomes an isolated row.
+            for v in list(self._adj):
+                for u in self._adj[v]:
+                    if u not in self._adj:
+                        self._adj[u] = ()
+            self._num_edges = sum(len(a) for a in self._adj.values()) // 2
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        labels: Optional[Mapping[int, int]] = None,
+        extra_vertices: Iterable[int] = (),
+    ) -> "Graph":
+        """Build an undirected graph from an edge iterable."""
+        adj: Dict[int, set] = {}
+        for u, v in edges:
+            if u == v:
+                continue
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+        for v in extra_vertices:
+            adj.setdefault(v, set())
+        return cls(adj, labels=labels)
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def sorted_vertices(self) -> List[int]:
+        return sorted(self._adj)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The sorted adjacency list ``Gamma(v)``."""
+        return self._adj[v]
+
+    def neighbors_gt(self, v: int) -> Tuple[int, ...]:
+        """Neighbors of ``v`` with id greater than ``v`` (``Gamma_>(v)``)."""
+        return adjacency_suffix_gt(self._adj[v], v)
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def label(self, v: int) -> int:
+        return self._labels.get(v, 0)
+
+    def labels(self) -> Dict[int, int]:
+        return dict(self._labels)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        a = self._adj.get(u)
+        if a is None:
+            return False
+        idx = bisect.bisect_left(a, v)
+        return idx < len(a) and a[idx] == v
+
+    # -- aggregate statistics -----------------------------------------
+
+    def max_degree(self) -> int:
+        return max((len(a) for a in self._adj.values()), default=0)
+
+    def average_degree(self) -> float:
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for a in self._adj.values():
+            hist[len(a)] = hist.get(len(a), 0) + 1
+        return hist
+
+    # -- derived graphs ------------------------------------------------
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """The subgraph induced by ``vertices`` (adjacency filtered)."""
+        vset = set(vertices)
+        adj = {
+            v: [u for u in self._adj[v] if u in vset]
+            for v in vset
+            if v in self._adj
+        }
+        labels = {v: self._labels[v] for v in adj if v in self._labels}
+        return Graph(adj, labels=labels)
+
+    def trimmed(self, trimmer) -> "Graph":
+        """Apply a :class:`repro.core.api.Trimmer`-style callable per vertex.
+
+        ``trimmer(v, adj)`` must return the trimmed adjacency sequence.
+        Used to implement the paper's Trimmer plug-in at load time.
+        """
+        adj = {v: trimmer(v, a) for v, a in self._adj.items()}
+        g = Graph.__new__(Graph)
+        g._adj = {v: tuple(a) for v, a in adj.items()}
+        g._labels = dict(self._labels)
+        # Trimming may make adjacency asymmetric (e.g. Gamma_> trimming);
+        # count directed entries instead of halving.
+        g._num_edges = sum(len(a) for a in g._adj.values())
+        return g
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for v, adj in self._adj.items():
+            for u in adjacency_suffix_gt(adj, v):
+                yield (v, u)
+
+    # -- misc ----------------------------------------------------------
+
+    def adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        """A shallow copy of the adjacency mapping."""
+        return dict(self._adj)
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough bytes needed to hold the adjacency (8 B per entry + row overhead).
+
+        Used by the simulator's memory accounting, not by Python's own
+        allocator: we model the footprint a C++ implementation would have,
+        matching how the paper reports per-machine GB numbers.
+        """
+        return sum(16 + 8 * len(a) for a in self._adj.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj and all(
+            self.label(v) == other.label(v) for v in self._adj
+        )
+
+    def __hash__(self) -> int:  # Graphs are mutated never, but keep unhashable-by-default semantics explicit.
+        raise TypeError("Graph objects are not hashable")

@@ -1,0 +1,19 @@
+"""Batched message-passing substrate between workers."""
+
+from .message import (
+    Message,
+    RequestBatch,
+    ResponseBatch,
+    TaskBatchTransfer,
+    estimate_adj_bytes,
+)
+from .transport import Transport
+
+__all__ = [
+    "Message",
+    "RequestBatch",
+    "ResponseBatch",
+    "TaskBatchTransfer",
+    "estimate_adj_bytes",
+    "Transport",
+]

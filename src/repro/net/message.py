@@ -1,0 +1,72 @@
+"""Wire messages exchanged between workers.
+
+G-thinker "batch[es] vertex requests and responses for transmission to
+combat round-trip time and to ensure throughput" (desirability 5); the
+message types here are therefore all *batches*.  Sizes are modeled in
+bytes (8 B per vertex id / adjacency entry plus small headers) so the
+transport and the DES can account bandwidth the way the paper's GigE
+testbed would see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+__all__ = [
+    "Message",
+    "RequestBatch",
+    "ResponseBatch",
+    "TaskBatchTransfer",
+    "estimate_adj_bytes",
+]
+
+_HEADER_BYTES = 24
+
+
+def estimate_adj_bytes(adj: Sequence[int]) -> int:
+    return 8 * len(adj)
+
+
+@dataclass
+class Message:
+    """Base class; ``src`` and ``dst`` are worker ids."""
+
+    src: int
+    dst: int
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES
+
+
+@dataclass
+class RequestBatch(Message):
+    """A batch of vertex pulls: "send me Γ(v) for these ids"."""
+
+    vertex_ids: List[int] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + 8 * len(self.vertex_ids)
+
+
+@dataclass
+class ResponseBatch(Message):
+    """A batch of ``(v, label, Γ(v))`` replies."""
+
+    vertices: List[Tuple[int, int, Tuple[int, ...]]] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + sum(
+            16 + estimate_adj_bytes(adj) for (_v, _label, adj) in self.vertices
+        )
+
+
+@dataclass
+class TaskBatchTransfer(Message):
+    """A batch of serialized tasks shipped by work stealing."""
+
+    payload: bytes = b""
+    num_tasks: int = 0
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + len(self.payload)

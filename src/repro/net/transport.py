@@ -1,0 +1,138 @@
+"""In-process transport connecting worker objects.
+
+The real system runs one process per machine over TCP; here all workers
+live in one process and exchange :class:`~repro.net.message.Message`
+objects through per-worker mailboxes.  The transport:
+
+* counts messages and bytes (for the IO-bound vs CPU-bound analysis),
+* tracks in-flight messages (needed for termination detection),
+* supports *timed delivery*: the DES runtime stamps each message with an
+  ``available_at`` virtual time computed from a
+  :class:`~repro.core.config.NetworkModel`; the serial and threaded
+  runtimes deliver immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..core.config import NetworkModel
+from ..core.metrics import MetricsRegistry
+from .message import Message
+
+__all__ = ["Transport"]
+
+
+class _Mailbox:
+    __slots__ = ("lock", "queue")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.queue: Deque[Tuple[float, Message]] = deque()
+
+
+class Transport:
+    """Routes messages between ``num_workers`` mailboxes."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        metrics: Optional[MetricsRegistry] = None,
+        network: Optional[NetworkModel] = None,
+        timed: bool = False,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._mailboxes = [_Mailbox() for _ in range(num_workers)]
+        self._metrics = metrics or MetricsRegistry()
+        self._network = network or NetworkModel()
+        self._timed = timed
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+        # Per-destination link clock: models FIFO serialization on the
+        # receiver's NIC so that the DES cannot deliver two large batches
+        # to the same worker "for free" at the same instant.
+        self._link_free_at = [0.0] * num_workers
+        # Optional hook ``(dst_worker, available_at)`` invoked on every
+        # send; the DES runtime uses it to wake the destination's comm
+        # entity exactly when the message becomes deliverable.
+        self.deliver_hook = None
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._mailboxes)
+
+    def send(self, message: Message, now: float = 0.0) -> float:
+        """Enqueue ``message`` for its destination; returns delivery time.
+
+        Local (``src == dst``) messages bypass the network model — the
+        paper's workers answer local pulls directly from ``T_local``, so
+        same-worker messages only occur in degenerate configurations.
+        """
+        dst = message.dst
+        if not 0 <= dst < len(self._mailboxes):
+            raise ValueError(f"invalid destination worker {dst}")
+        size = message.size_bytes()
+        self._metrics.add("net:messages")
+        self._metrics.add("net:bytes", size)
+        if self._timed and message.src != dst:
+            start = max(now, self._link_free_at[dst])
+            available_at = start + self._network.transfer_time(size)
+            self._link_free_at[dst] = available_at
+        else:
+            available_at = now
+        box = self._mailboxes[dst]
+        with box.lock:
+            box.queue.append((available_at, message))
+        with self._in_flight_lock:
+            self._in_flight += 1
+        if self.deliver_hook is not None:
+            self.deliver_hook(dst, available_at)
+        return available_at
+
+    def poll(self, worker_id: int, now: float = float("inf"), limit: int = 0) -> List[Message]:
+        """Dequeue messages for ``worker_id`` whose delivery time has passed.
+
+        With the default ``now=inf`` (untimed runtimes) everything queued
+        is returned.  ``limit`` bounds the number returned (0 = all).
+        """
+        box = self._mailboxes[worker_id]
+        out: List[Message] = []
+        requeue: List[Tuple[float, Message]] = []
+        with box.lock:
+            while box.queue:
+                available_at, msg = box.queue.popleft()
+                if available_at <= now and (limit == 0 or len(out) < limit):
+                    out.append(msg)
+                else:
+                    requeue.append((available_at, msg))
+            for item in requeue:
+                box.queue.append(item)
+        if out:
+            with self._in_flight_lock:
+                self._in_flight -= len(out)
+        return out
+
+    def next_delivery_time(self, worker_id: int) -> Optional[float]:
+        """Earliest pending delivery for a worker (DES wake-up hint)."""
+        box = self._mailboxes[worker_id]
+        with box.lock:
+            if not box.queue:
+                return None
+            return min(t for t, _ in box.queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet polled (termination detection)."""
+        with self._in_flight_lock:
+            return self._in_flight
+
+    @property
+    def total_bytes(self) -> float:
+        return self._metrics.get("net:bytes")
+
+    @property
+    def total_messages(self) -> float:
+        return self._metrics.get("net:messages")

@@ -1,0 +1,6 @@
+"""Discrete-event cluster simulation (virtual-time scaling experiments)."""
+
+from .desruntime import SimJobResult, SimulatedRuntime, run_simulated_job
+from .events import EventQueue
+
+__all__ = ["SimJobResult", "SimulatedRuntime", "run_simulated_job", "EventQueue"]

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GThinkerConfig
+from repro.graph import Graph, erdos_renyi, ring_of_cliques
+
+
+@pytest.fixture
+def small_config() -> GThinkerConfig:
+    """A config sized for tests: small batches so spills/refills happen."""
+    return GThinkerConfig(
+        num_workers=3,
+        compers_per_worker=2,
+        task_batch_size=4,
+        cache_capacity=64,
+        cache_buckets=16,
+        decompose_threshold=16,
+        sync_every_rounds=16,
+        aggregator_sync_period_s=0.002,
+    )
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """The 4-vertex graph of the paper's Fig. 1 (a<b<c<d as 0<1<2<3)."""
+    return Graph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def er_graph() -> Graph:
+    return erdos_renyi(80, 0.12, seed=17)
+
+
+@pytest.fixture
+def clique_ring() -> Graph:
+    return ring_of_cliques(5, 6)

@@ -1,0 +1,13 @@
+"""Oracle helpers shared by tests."""
+
+from repro.graph import Graph
+
+
+def nx_of(g: Graph):
+    """Convert a repro Graph to a networkx Graph."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(g.vertices())
+    out.add_edges_from(g.edges())
+    return out

@@ -1,0 +1,87 @@
+"""Tests for the user-facing API primitives."""
+
+import pickle
+
+import pytest
+
+from repro.core.api import (
+    MaxAggregator,
+    SumAggregator,
+    Task,
+    Trimmer,
+    VertexView,
+)
+
+
+class TestTask:
+    def test_pull_dedup(self):
+        t = Task()
+        t.pull(3)
+        t.pull(5)
+        t.pull(3)
+        assert t.pending_pulls() == (3, 5)
+
+    def test_take_pulls_drains(self):
+        t = Task()
+        t.pull(1)
+        assert t.take_pulls() == [1]
+        assert t.pending_pulls() == ()
+        t.pull(1)  # re-pull after drain is allowed
+        assert t.take_pulls() == [1]
+
+    def test_pull_order_preserved(self):
+        t = Task()
+        for v in (9, 2, 7, 2, 9, 1):
+            t.pull(v)
+        assert t.take_pulls() == [9, 2, 7, 1]
+
+    def test_context(self):
+        t = Task(context={"S": (1, 2)})
+        assert t.context["S"] == (1, 2)
+
+    def test_default_id_unassigned(self):
+        assert Task().task_id == -1
+
+    def test_pickle_roundtrip(self):
+        t = Task(context=(1, 2))
+        t.g.add_vertex(5, (6, 7))
+        t.pull(6)
+        back = pickle.loads(pickle.dumps(t))
+        assert back.context == (1, 2)
+        assert back.g.neighbors(5) == (6, 7)
+        assert back.pending_pulls() == (6,)
+
+    def test_memory_estimate(self):
+        t = Task()
+        base = t.memory_estimate_bytes()
+        t.g.add_vertex(0, tuple(range(50)))
+        assert t.memory_estimate_bytes() > base
+
+
+class TestAggregators:
+    def test_sum(self):
+        a = SumAggregator()
+        assert a.identity() == 0
+        assert a.combine(2, 3) == 5
+
+    def test_max_by_len(self):
+        a = MaxAggregator(key=len)
+        assert a.identity() is None
+        assert a.combine(None, (1,)) == (1,)
+        assert a.combine((1, 2), None) == (1, 2)
+        assert a.combine((1,), (1, 2)) == (1, 2)
+        assert a.combine((3, 4), (1, 2)) == (3, 4)  # ties keep the left
+
+    def test_max_custom_key(self):
+        a = MaxAggregator(key=abs)
+        assert a.combine(-5, 3) == -5
+
+
+def test_default_trimmer_is_identity():
+    t = Trimmer()
+    assert t.trim(0, 0, (1, 2, 3)) == (1, 2, 3)
+
+
+def test_vertex_view_fields():
+    v = VertexView(3, 1, (4, 5))
+    assert v.id == 3 and v.label == 1 and v.adj == (4, 5)

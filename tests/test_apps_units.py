@@ -1,0 +1,85 @@
+"""Unit tests for app internals not covered by end-to-end jobs."""
+
+import pytest
+
+from repro.apps import (
+    GtTrimmer,
+    LabelTrimmer,
+    MaxCliqueComper,
+    SubgraphMatchComper,
+    TriangleCountComper,
+    query_radius,
+)
+from repro.algorithms import QueryGraph, path_query, star_query, triangle_query
+
+
+class TestTrimmers:
+    def test_gt_trimmer(self):
+        t = GtTrimmer()
+        assert t.trim(5, 0, (1, 3, 5, 7, 9)) == (7, 9)
+        assert t.trim(10, 0, (1, 2)) == ()
+
+    def test_label_trimmer_drops_vertex_with_bad_label(self):
+        labels = {1: 0, 2: 1, 3: 2}
+        t = LabelTrimmer({0, 1}, lambda u: labels.get(u, 0))
+        assert t.trim(9, 2, (1, 2, 3)) == ()  # label 2 not allowed
+
+    def test_label_trimmer_filters_neighbors(self):
+        labels = {1: 0, 2: 1, 3: 2}
+        t = LabelTrimmer({0, 1}, lambda u: labels.get(u, 0))
+        assert t.trim(9, 0, (1, 2, 3)) == (1, 2)
+
+
+class TestQueryRadius:
+    def test_triangle_radius_one(self):
+        assert query_radius(triangle_query()) == 1
+
+    def test_path_radius(self):
+        # The anchor is the max-degree vertex; degree ties break toward
+        # the smallest id, so path(4) anchors at vertex 1 (ecc 3).
+        assert query_radius(path_query(2)) == 1
+        assert query_radius(path_query(4)) == 3
+
+    def test_star_radius_one(self):
+        assert query_radius(star_query(4)) == 1
+
+    def test_disconnected_query_rejected(self):
+        q = QueryGraph([(0, 1)])
+        q.graph = __import__("repro.graph", fromlist=["Graph"]).Graph.from_edges(
+            [(0, 1), (2, 3)]
+        )
+        with pytest.raises(ValueError):
+            query_radius(q)
+
+
+class TestAppValidation:
+    def test_tc_requires_nothing(self):
+        app = TriangleCountComper()
+        assert app.make_trimmer() is not None
+        assert app.make_aggregator() is not None
+
+    def test_gm_trimmer_optional(self):
+        app = SubgraphMatchComper(triangle_query())
+        assert app.make_trimmer() is None
+        labeled = SubgraphMatchComper(triangle_query(), data_labels={0: 0})
+        assert labeled.make_trimmer() is not None
+
+    def test_mcf_aggregator_tracks_longest(self):
+        agg = MaxCliqueComper().make_aggregator()
+        assert agg.combine((1, 2), (3, 4, 5)) == (3, 4, 5)
+
+
+class TestSymmetryPairs:
+    def test_triangle_fully_broken(self):
+        q = triangle_query()
+        # An unlabeled triangle has 6 automorphisms; symmetry breaking
+        # needs at least 2 ordering constraints to kill them all.
+        assert len(q.symmetry_pairs) >= 2
+
+    def test_labeled_triangle_no_pairs(self):
+        q = triangle_query(labels={0: 0, 1: 1, 2: 2})
+        assert q.symmetry_pairs == []
+
+    def test_path_one_pair(self):
+        q = path_query(2)  # ends are swappable
+        assert len(q.symmetry_pairs) == 1

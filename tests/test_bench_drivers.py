@@ -1,0 +1,98 @@
+"""Smoke tests for the benchmark drivers (tiny scales for speed)."""
+
+import pytest
+
+from repro.bench import (
+    bench_config,
+    fig2_crossover,
+    gm_query,
+    render_table,
+    single_machine_comparison,
+    table1_features,
+    table2_datasets,
+    table3_distributed,
+    table5a_cache_capacity,
+    table5b_alpha,
+)
+from repro.bench.tables import format_bytes, format_seconds
+
+
+def test_render_table_alignment():
+    text = render_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert len({len(l) for l in lines[2:5]}) == 1  # aligned widths
+
+
+def test_format_seconds():
+    assert format_seconds(None) == "-"
+    assert format_seconds(0.0021) == "2.1 ms"
+    assert format_seconds(2.5) == "2.50 s"
+    assert format_seconds(7200) == "2.0 h"
+
+
+def test_format_bytes():
+    assert format_bytes(None) == "-"
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2048) == "2.00 KB"
+    assert format_bytes(3 << 20) == "3.00 MB"
+    assert format_bytes(5 << 30) == "5.00 GB"
+
+
+def test_bench_config_overrides():
+    cfg = bench_config(2, 3, cache_capacity=77)
+    assert cfg.num_workers == 2
+    assert cfg.compers_per_worker == 3
+    assert cfg.cache_capacity == 77
+
+
+def test_gm_query_shape():
+    q = gm_query()
+    assert q.num_vertices == 4
+    assert len(list(q.graph.edges())) == 4
+
+
+def test_table1_rows():
+    headers, rows = table1_features()
+    assert headers[0] == "system"
+    assert len(headers) == 8
+    assert {r[0] for r in rows} >= {"gthinker", "gminer", "arabesque"}
+
+
+def test_table2_small_scale():
+    headers, rows = table2_datasets(scale=0.1)
+    assert len(rows) == 5
+    assert all(int(r[1]) > 0 for r in rows)
+
+
+def test_fig2_small():
+    headers, rows = fig2_crossover(sizes=(4, 16, 48))
+    assert len(rows) == 3
+    ratios = [float(r[3]) for r in rows]
+    assert ratios[-1] > ratios[0]
+
+
+@pytest.mark.slow
+def test_table3_one_dataset():
+    headers, rows = table3_distributed(
+        scale=0.2, machines=2, compers=2, datasets=("youtube",)
+    )
+    assert len(rows) == 3  # MCF, TC, GM
+    assert rows[0][0] == "MCF"
+
+
+def test_table5a_small():
+    headers, rows = table5a_cache_capacity(scale=0.15)
+    assert len(rows) == 4
+
+
+def test_table5b_small():
+    headers, rows = table5b_alpha(scale=0.15)
+    assert [r[0] for r in rows] == [0.002, 0.02, 0.2, 2.0]
+
+
+def test_single_machine_small():
+    headers, rows = single_machine_comparison(scale=0.15)
+    experiments = {r[0] for r in rows}
+    assert experiments == {"TC", "MCF"}

@@ -1,0 +1,155 @@
+"""Fault-tolerance tests: checkpoint, injected failure, recovery."""
+
+import pytest
+
+from repro.algorithms import count_triangles, enumerate_quasi_cliques, max_clique_reference
+from repro.apps import MaxCliqueComper, QuasiCliqueComper, TriangleCountComper
+from repro.core import GThinkerConfig, resume_job, run_job
+from repro.core.checkpoint import (
+    JobCheckpoint,
+    TaskSnapshot,
+    WorkerSnapshot,
+    restore_task,
+    snapshot_task,
+)
+from repro.core.api import Task
+from repro.core.errors import CheckpointError, JobAbortedError
+from repro.graph import erdos_renyi
+
+
+def cfg(**kw):
+    base = dict(
+        num_workers=3, compers_per_worker=2, task_batch_size=4,
+        cache_capacity=64, cache_buckets=16, decompose_threshold=16,
+        sync_every_rounds=8, checkpoint_every_syncs=1,
+    )
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(130, 0.09, seed=77)
+
+
+class TestTaskSnapshots:
+    def test_roundtrip_fresh_task(self):
+        t = Task(context={"S": (1,)})
+        t.g.add_vertex(1, (2, 3), label=4)
+        t.pull(2)
+        t.pull(3)
+        back = restore_task(snapshot_task(t))
+        assert back.context == {"S": (1,)}
+        assert back.g.neighbors(1) == (2, 3)
+        assert back.g.label(1) == 4
+        assert back.pending_pulls() == (2, 3)
+
+    def test_roundtrip_inflight_task(self):
+        """A parked task saves its in-flight pulls for re-requesting."""
+        t = Task()
+        t.pull(5)
+        t.pulls_in_flight = t.take_pulls()
+        back = restore_task(snapshot_task(t))
+        assert back.pending_pulls() == (5,)
+        assert back.pulls_in_flight == []
+
+
+class TestCheckpointFile:
+    def test_save_load_roundtrip(self, tmp_path):
+        ckpt = JobCheckpoint(
+            worker_snapshots=[WorkerSnapshot(spawn_cursor=3, outputs=["x"])],
+            aggregator_global=42,
+            num_workers=1,
+            compers_per_worker=2,
+        )
+        path = tmp_path / "job.ckpt"
+        ckpt.save(path)
+        back = JobCheckpoint.load(path)
+        assert back.aggregator_global == 42
+        assert back.worker_snapshots[0].spawn_cursor == 3
+        assert back.worker_snapshots[0].outputs == ["x"]
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            JobCheckpoint.load(tmp_path / "nope.ckpt")
+
+    def test_load_garbage(self, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            JobCheckpoint.load(bad)
+
+    def test_load_wrong_type(self, tmp_path):
+        import pickle
+
+        bad = tmp_path / "wrong.ckpt"
+        bad.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointError):
+            JobCheckpoint.load(bad)
+
+
+def _abort_then_resume(app_factory, graph, tmp_path, rounds):
+    ck = str(tmp_path / "job.ckpt")
+    with pytest.raises(JobAbortedError):
+        run_job(app_factory, graph, cfg(), runtime="serial",
+                checkpoint_path=ck, abort_after_rounds=rounds)
+    return resume_job(app_factory, graph, ck,
+                      cfg(checkpoint_every_syncs=0))
+
+
+class TestFailureRecovery:
+    def test_tc_recovers_exact_count(self, graph, tmp_path):
+        res = _abort_then_resume(TriangleCountComper, graph, tmp_path, rounds=24)
+        assert res.aggregate == count_triangles(graph)
+
+    def test_tc_recovers_from_early_failure(self, graph, tmp_path):
+        res = _abort_then_resume(TriangleCountComper, graph, tmp_path, rounds=9)
+        assert res.aggregate == count_triangles(graph)
+
+    def test_mcf_recovers(self, graph, tmp_path):
+        res = _abort_then_resume(MaxCliqueComper, graph, tmp_path, rounds=10)
+        assert len(res.aggregate) == len(max_clique_reference(graph))
+
+    def test_quasiclique_recovers_outputs(self, tmp_path):
+        g = erdos_renyi(20, 0.3, seed=5)
+        res = _abort_then_resume(
+            lambda: QuasiCliqueComper(gamma=0.6, min_size=4), g, tmp_path, rounds=12
+        )
+        assert set(res.outputs) == set(enumerate_quasi_cliques(g, 0.6, min_size=4))
+
+    def test_abort_before_any_checkpoint(self, graph, tmp_path):
+        """Failing before the first sync leaves no checkpoint file."""
+        ck = tmp_path / "early.ckpt"
+        with pytest.raises(JobAbortedError):
+            run_job(TriangleCountComper, graph, cfg(sync_every_rounds=1000),
+                    runtime="serial", checkpoint_path=str(ck),
+                    abort_after_rounds=3)
+        assert not ck.exists()
+
+    def test_resume_worker_count_mismatch(self, graph, tmp_path):
+        ck = str(tmp_path / "job.ckpt")
+        with pytest.raises(JobAbortedError):
+            run_job(TriangleCountComper, graph, cfg(), runtime="serial",
+                    checkpoint_path=ck, abort_after_rounds=24)
+        with pytest.raises(ValueError):
+            resume_job(TriangleCountComper, graph, ck,
+                       cfg(num_workers=5, checkpoint_every_syncs=0))
+
+    def test_resume_default_config_from_checkpoint(self, graph, tmp_path):
+        ck = str(tmp_path / "job.ckpt")
+        with pytest.raises(JobAbortedError):
+            run_job(TriangleCountComper, graph, cfg(), runtime="serial",
+                    checkpoint_path=ck, abort_after_rounds=24)
+        res = resume_job(TriangleCountComper, graph, ck)  # config inferred
+        assert res.aggregate == count_triangles(graph)
+        assert res.num_workers == 3
+
+
+def test_checkpoint_of_completed_job_resumes_to_same_answer(graph, tmp_path):
+    """Resuming from the final checkpoint re-delivers the same result."""
+    ck = str(tmp_path / "job.ckpt")
+    first = run_job(TriangleCountComper, graph, cfg(), runtime="serial",
+                    checkpoint_path=ck)
+    resumed = resume_job(TriangleCountComper, graph, ck,
+                         cfg(checkpoint_every_syncs=0))
+    assert first.aggregate == resumed.aggregate == count_triangles(graph)

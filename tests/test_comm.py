@@ -1,0 +1,122 @@
+"""Unit tests for the per-worker communication service."""
+
+import pytest
+
+from repro.core.api import Comper, Task, VertexView
+from repro.core.comm import RESPONSE_CHUNK
+from repro.core.config import GThinkerConfig
+from repro.core.job import build_cluster
+from repro.graph import Graph, hash_partition
+from repro.net import RequestBatch, ResponseBatch, TaskBatchTransfer
+
+
+class Quiet(Comper):
+    def task_spawn(self, v):
+        pass
+
+    def compute(self, task, frontier):
+        return False
+
+
+def make_cluster(num_workers=2):
+    g = Graph.from_edges([(i, i + 1) for i in range(30)])
+    cfg = GThinkerConfig(num_workers=num_workers, compers_per_worker=1,
+                         task_batch_size=4, cache_capacity=64, cache_buckets=8)
+    return build_cluster(Quiet, g, cfg), g
+
+
+def remote_vertex_of(worker, graph):
+    """Some graph vertex not owned by `worker`."""
+    return next(
+        v for v in graph.vertices()
+        if hash_partition(v, worker.num_workers) != worker.worker_id
+    )
+
+
+def test_queue_and_flush_batches():
+    (cluster, g) = make_cluster()
+    w0 = cluster.workers[0]
+    v = remote_vertex_of(w0, g)
+    w0.comm.queue_request(v)
+    w0.comm.queue_request(v)  # second pull of the same vertex still queues
+    assert w0.comm.pending_outgoing() == 2
+    w0.comm.step()
+    assert w0.comm.pending_outgoing() == 0
+    owner = cluster.workers[hash_partition(v, 2)]
+    msgs = cluster.transport.poll(owner.worker_id)
+    assert len(msgs) == 1  # one batch, not two messages
+    assert msgs[0].vertex_ids == [v, v]
+
+
+def test_request_served_from_local_table():
+    (cluster, g) = make_cluster()
+    w0, w1 = cluster.workers
+    v = next(x for x in g.vertices() if w1.owns_vertex(x))
+    cluster.transport.send(RequestBatch(src=0, dst=1, vertex_ids=[v]))
+    w1.comm.step()  # serves the request
+    responses = cluster.transport.poll(0)
+    assert len(responses) == 1
+    (vid, label, adj) = responses[0].vertices[0]
+    assert vid == v
+    assert adj == g.neighbors(v)
+
+
+def test_response_chunking():
+    (cluster, g) = make_cluster()
+    w0, w1 = cluster.workers
+    owned = [v for v in g.vertices() if w1.owns_vertex(v)]
+    # Ask for the same vertex many times to exceed one chunk.
+    ids = owned * (RESPONSE_CHUNK // len(owned) + 1)
+    cluster.transport.send(RequestBatch(src=0, dst=1, vertex_ids=ids))
+    w1.comm.step()
+    responses = cluster.transport.poll(0)
+    assert len(responses) >= 2
+    assert sum(len(r.vertices) for r in responses) == len(ids)
+
+
+def test_response_wakes_pending_task():
+    (cluster, g) = make_cluster()
+    w0 = cluster.workers[0]
+    engine = w0.engines[0]
+    v = remote_vertex_of(w0, g)
+    task = Task(context="x")
+    task.pull(v)
+    engine.q_task.append(task)
+    assert engine.step()  # pop -> park + request
+    assert len(engine.t_task) == 1
+    w0.comm.step()  # flush the request
+    owner = cluster.workers[hash_partition(v, 2)]
+    owner.comm.step()  # serve it
+    w0.comm.step()  # receive: cache insert + notify
+    assert len(engine.t_task) == 0
+    assert len(engine.b_task) == 1
+    assert engine.b_task.get() is task
+
+
+def test_task_batch_lands_in_lfile():
+    (cluster, g) = make_cluster()
+    from repro.core.containers import serialize_tasks
+
+    payload = serialize_tasks([Task(context=1), Task(context=2)])
+    cluster.transport.send(
+        TaskBatchTransfer(src=1, dst=0, payload=payload, num_tasks=2)
+    )
+    w0 = cluster.workers[0]
+    w0.comm.step()
+    assert w0.l_file.num_tasks_on_disk() == 2
+    tasks = w0.l_file.take_file()
+    assert [t.context for t in tasks] == [1, 2]
+
+
+def test_unknown_message_type_rejected():
+    (cluster, g) = make_cluster()
+
+    class Weird:
+        src, dst = 0, 0
+
+        def size_bytes(self):
+            return 0
+
+    cluster.transport._mailboxes[0].queue.append((0.0, Weird()))
+    with pytest.raises(TypeError):
+        cluster.workers[0].comm._dispatch(Weird(), now=0.0)

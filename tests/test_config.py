@@ -1,0 +1,63 @@
+"""Tests for configuration and models."""
+
+import pytest
+
+from repro.core.config import DiskModel, GThinkerConfig, MachineModel, NetworkModel
+
+
+def test_defaults_valid():
+    cfg = GThinkerConfig()
+    assert cfg.queue_capacity == 3 * cfg.task_batch_size
+    assert cfg.refill_target == 2 * cfg.task_batch_size
+    assert cfg.effective_pending_threshold == 8 * cfg.task_batch_size
+
+
+def test_pending_threshold_override():
+    cfg = GThinkerConfig(pending_threshold=5)
+    assert cfg.effective_pending_threshold == 5
+
+
+def test_with_updates_returns_copy():
+    a = GThinkerConfig(num_workers=2)
+    b = a.with_updates(num_workers=4)
+    assert a.num_workers == 2
+    assert b.num_workers == 4
+    assert b.task_batch_size == a.task_batch_size
+
+
+@pytest.mark.parametrize("field,value", [
+    ("num_workers", 0),
+    ("compers_per_worker", 0),
+    ("task_batch_size", 0),
+    ("cache_capacity", 0),
+    ("cache_overflow_alpha", -0.1),
+    ("cache_buckets", 0),
+    ("decompose_threshold", 1),
+])
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ValueError):
+        GThinkerConfig(**{field: value})
+
+
+def test_network_transfer_time():
+    net = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=1000.0)
+    assert net.transfer_time(0) == pytest.approx(0.001)
+    assert net.transfer_time(1000) == pytest.approx(1.001)
+
+
+def test_disk_io_time():
+    disk = DiskModel(seek_s=0.002, bandwidth_bytes_per_s=100.0)
+    assert disk.io_time(100) == pytest.approx(1.002)
+
+
+def test_machine_model_defaults():
+    m = MachineModel()
+    assert m.num_cores == 16
+    assert m.memory_bytes == 64 << 30
+    assert m.cpu_speed == 1.0
+
+
+def test_config_frozen():
+    cfg = GThinkerConfig()
+    with pytest.raises(Exception):
+        cfg.num_workers = 9  # dataclass(frozen=True)

@@ -1,0 +1,68 @@
+"""Tests for the numpy CSR representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import count_triangles
+from repro.graph import CSRGraph, Graph, erdos_renyi
+
+
+def test_roundtrip(er_graph):
+    csr = CSRGraph.from_graph(er_graph)
+    assert csr.to_graph() == er_graph
+
+
+def test_counts(er_graph):
+    csr = CSRGraph.from_graph(er_graph)
+    assert csr.num_vertices == er_graph.num_vertices
+    assert csr.num_edges == er_graph.num_edges
+
+
+def test_degrees_match(er_graph):
+    csr = CSRGraph.from_graph(er_graph)
+    for v in er_graph.vertices():
+        assert csr.degree(v) == er_graph.degree(v)
+    assert csr.max_degree() == er_graph.max_degree()
+    assert csr.average_degree() == pytest.approx(er_graph.average_degree())
+
+
+def test_triangles_match(er_graph):
+    assert CSRGraph.from_graph(er_graph).count_triangles() == count_triangles(er_graph)
+
+
+def test_empty_graph():
+    csr = CSRGraph.from_graph(Graph())
+    assert csr.num_vertices == 0
+    assert csr.count_triangles() == 0
+    assert csr.max_degree() == 0
+
+
+def test_noncontiguous_ids():
+    g = Graph.from_edges([(10, 200), (200, 3000), (10, 3000)])
+    csr = CSRGraph.from_graph(g)
+    assert csr.count_triangles() == 1
+    assert csr.degree(200) == 2
+    assert csr.to_graph() == g
+
+
+def test_memory_bytes_is_array_footprint(er_graph):
+    csr = CSRGraph.from_graph(er_graph)
+    expected = 8 * (len(csr.indptr) + len(csr.indices) + len(csr.vertex_ids))
+    assert csr.memory_bytes() == expected
+
+
+def test_validation_rejects_bad_arrays():
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([0, 1]), np.array([0]), np.array([5, 6]))
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([1, 1]), np.array([], dtype=np.int64), np.array([5]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 30), st.floats(0.0, 0.6), st.integers(0, 50))
+def test_roundtrip_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    csr = CSRGraph.from_graph(g)
+    assert csr.to_graph() == g
+    assert csr.count_triangles() == count_triangles(g)

@@ -1,0 +1,142 @@
+"""Executable Table I: each of the seven desirabilities (§III) mapped to
+an observable property of *this* implementation.
+
+These are the integration-level claims the paper makes about G-thinker;
+Table I says only G-thinker has all seven.
+"""
+
+import pytest
+
+from repro.algorithms import count_triangles
+from repro.apps import MaxCliqueComper, TriangleCountComper
+from repro.core import GThinkerConfig, run_job
+from repro.core.job import build_cluster
+from repro.core.runtime import SerialRuntime
+from repro.graph import erdos_renyi, make_dataset
+
+
+def cfg(**kw):
+    base = dict(num_workers=3, compers_per_worker=2, task_batch_size=4,
+                cache_capacity=48, cache_buckets=16, cache_count_delta=1,
+                decompose_threshold=16, sync_every_rounds=8)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(140, 0.1, seed=3)
+
+
+@pytest.fixture(scope="module")
+def mcf_run(graph):
+    return run_job(MaxCliqueComper, graph, cfg())
+
+
+@pytest.fixture(scope="module")
+def tc_run(graph):
+    return run_job(TriangleCountComper, graph, cfg())
+
+
+def test_d1_bounded_memory(graph):
+    """D1: only a bounded pool of tasks + bounded cache in memory.
+
+    The cache never holds (observably) more than (1+α)·c_cache plus the
+    in-iteration slack, and per-comper task containers respect their
+    capacities — we check the strongest cheap proxy: the modeled peak
+    memory is far below materializing all subgraphs at once.
+    """
+    from repro.core.metrics import WorkerMemoryModel
+
+    res = run_job(TriangleCountComper, graph, cfg(cache_capacity=16))
+    # All task subgraphs together would be O(sum deg^2); the engine's
+    # modeled peak (minus the fixed process baseline) must stay well
+    # under materializing them all at once.
+    blowup = 8 * sum(graph.degree(v) ** 2 for v in graph.vertices())
+    used = res.peak_memory_bytes - WorkerMemoryModel.BASELINE_BYTES
+    assert 0 < used < blowup
+
+
+def test_d2_batched_sequential_spill(tc_run):
+    """D2: spills happen in batches (never single-task writes) and every
+    spilled task is refilled (disk-resident volume returns to zero)."""
+    spilled = tc_run.metrics.get("tasks:spilled", 0)
+    refilled = tc_run.metrics.get("tasks:refilled_from_disk", 0)
+    assert spilled == refilled  # nothing left behind on disk
+
+
+def test_d2_spills_are_whole_batches(graph):
+    res = run_job(TriangleCountComper, graph, cfg(task_batch_size=3))
+    spilled = res.metrics.get("tasks:spilled", 0)
+    assert spilled % 3 == 0  # only C-sized batches ever hit disk
+
+
+def test_d3_threads_share_cached_vertices(tc_run):
+    """D3: requested vertices are shared; duplicate requests suppressed."""
+    assert tc_run.metrics.get("cache:hits", 0) + tc_run.metrics.get(
+        "cache:miss_duplicate", 0
+    ) > 0
+    # Every vertex response was requested exactly once per residency:
+    # responses == first-misses.
+    assert tc_run.metrics.get("cache:responses") == tc_run.metrics.get(
+        "cache:miss_first"
+    )
+
+
+def test_d4_tasks_independent(graph):
+    """D4: tasks never block each other — any subset of tasks can be
+    processed in any order.  Proxy: the same job under three radically
+    different scheduling configs yields identical answers."""
+    answers = {
+        run_job(TriangleCountComper, graph, cfg(compers_per_worker=c,
+                                                task_batch_size=b)).aggregate
+        for (c, b) in [(1, 1), (4, 2), (2, 16)]
+    }
+    assert answers == {count_triangles(graph)}
+
+
+def test_d5_requests_batched(tc_run, graph):
+    """D5: vertex requests travel in batches, so messages << requests."""
+    requests = tc_run.metrics.get("comm:requests_queued", 0)
+    messages = tc_run.metrics.get("net:messages", 0)
+    assert requests > 0
+    assert messages < requests  # batching actually happened
+
+
+def test_d6_decomposition_spreads_work():
+    """D6: a big task divides into subtasks that overflow to disk and are
+    picked up by other compers."""
+    g = make_dataset("orkut", scale=0.3)
+    res = run_job(MaxCliqueComper, g, cfg(decompose_threshold=8,
+                                          task_batch_size=2))
+    assert res.metrics.get("tasks:created") > g.num_vertices  # children exist
+    assert res.metrics.get("tasks:spilled", 0) > 0  # shared via L_file
+
+
+def test_d6_work_stealing_between_machines():
+    """D6 (second half): idle machines steal batches from busy ones.
+
+    The graph must be big enough (and refills small enough) that the
+    spawn cursors are not drained before the first progress sync.
+    """
+    big = erdos_renyi(600, 0.03, seed=8)
+    cluster = build_cluster(
+        MaxCliqueComper, big,
+        cfg(compers_per_worker=1, task_batch_size=2, steal_batches=8,
+            sync_every_rounds=1),
+    )
+    w0 = cluster.workers[0]
+    w0.set_spawn_cursor(w0.num_local_vertices)
+    SerialRuntime().run(cluster)
+    assert cluster.metrics.get("steal:tasks") > 0
+
+
+def test_d7_compute_dominates_wire_time(graph):
+    """D7 (CPU-bound): on a compute-heavy job the bytes moved are small
+    relative to the mining work — the IO can hide under computation.
+    Proxy at our scale: total wire bytes stay within a small multiple of
+    the graph's own size, while the miner touches the search space many
+    times over."""
+    res = run_job(MaxCliqueComper, graph, cfg())
+    assert res.network_bytes < 20 * graph.memory_estimate_bytes()
+    assert res.metrics.get("tasks:iterations") >= graph.num_vertices * 0.5

@@ -1,0 +1,100 @@
+"""Tests for k-core decomposition and degeneracy utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Graph,
+    core_numbers,
+    degeneracy,
+    degeneracy_order,
+    erdos_renyi,
+    greedy_clique_seed,
+    plant_clique,
+    ring_of_cliques,
+)
+
+from tests.oracles import nx_of
+
+
+def test_core_numbers_clique():
+    g = ring_of_cliques(1, 6)
+    assert all(k == 5 for k in core_numbers(g).values())
+
+
+def test_core_numbers_path():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    assert all(k == 1 for k in core_numbers(g).values())
+
+
+def test_core_numbers_empty():
+    assert core_numbers(Graph()) == {}
+
+
+def test_core_numbers_vs_networkx(er_graph):
+    import networkx as nx
+
+    assert core_numbers(er_graph) == nx.core_number(nx_of(er_graph))
+
+
+def test_degeneracy_order_complete(er_graph):
+    order = degeneracy_order(er_graph)
+    assert sorted(order) == sorted(er_graph.vertices())
+
+
+def test_degeneracy_order_property(er_graph):
+    """Every vertex has at most `degeneracy` neighbors after it."""
+    order = degeneracy_order(er_graph)
+    pos = {v: i for i, v in enumerate(order)}
+    d = degeneracy(er_graph)
+    for v in order:
+        later = sum(1 for u in er_graph.neighbors(v) if pos[u] > pos[v])
+        assert later <= d
+
+
+def test_degeneracy_equals_max_core(er_graph):
+    assert degeneracy(er_graph) == max(core_numbers(er_graph).values())
+
+
+def test_greedy_seed_is_clique():
+    g, _members = plant_clique(erdos_renyi(80, 0.06, seed=4), 9, seed=5)
+    seed = greedy_clique_seed(g)
+    assert len(seed) >= 2
+    for i, u in enumerate(seed):
+        for v in seed[i + 1:]:
+            assert g.has_edge(u, v)
+
+
+def test_greedy_seed_finds_planted():
+    g, members = plant_clique(erdos_renyi(100, 0.04, seed=1), 10, seed=2)
+    assert len(greedy_clique_seed(g)) >= 8  # greedy may miss a little
+
+
+def test_greedy_seed_empty_graph():
+    assert greedy_clique_seed(Graph()) == ()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 40), st.floats(0.02, 0.5), st.integers(0, 40))
+def test_core_numbers_property(n, p, seed):
+    import networkx as nx
+
+    g = erdos_renyi(n, p, seed=seed)
+    assert core_numbers(g) == nx.core_number(nx_of(g))
+
+
+def test_mcf_with_core_pruning_and_seed():
+    """The accelerated MCF variant gives the same answer as Fig. 5."""
+    from repro.apps import MaxCliqueComper
+    from repro.core import GThinkerConfig, run_job
+
+    g, _ = plant_clique(erdos_renyi(90, 0.08, seed=9), 9, seed=10)
+    cfg = GThinkerConfig(num_workers=2, compers_per_worker=2,
+                         task_batch_size=4, cache_capacity=64)
+    plain = run_job(MaxCliqueComper, g, cfg)
+    cores = core_numbers(g)
+    seed = greedy_clique_seed(g)
+    fast = run_job(
+        lambda: MaxCliqueComper(core_numbers=cores, initial_clique=seed), g, cfg
+    )
+    assert len(fast.aggregate) == len(plain.aggregate)

@@ -1,0 +1,116 @@
+"""Tests for serial subgraph matching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    QueryGraph,
+    count_matches,
+    match_reference,
+    match_subgraph,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.algorithms.triangles import count_triangles
+from repro.graph import Graph, erdos_renyi, with_random_labels
+
+
+def test_triangle_query_counts_triangles(er_graph):
+    assert count_matches(er_graph, triangle_query()) == count_triangles(er_graph)
+
+
+def test_path_query_on_path():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    # Paths of length 3 in a path graph: exactly one embedding.
+    assert count_matches(g, path_query(3)) == 1
+
+
+def test_path_query_symmetry_breaking():
+    """A 2-path in a triangle: 3 embeddings (one per center), not 6."""
+    g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+    assert count_matches(g, path_query(2)) == 3
+
+
+def test_star_query():
+    g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+    assert count_matches(g, star_query(3)) == 1
+    assert count_matches(g, star_query(2)) == 3  # choose 2 of 3 leaves
+
+
+def test_labels_restrict_matches():
+    g = Graph({0: [1, 2], 1: [0, 2], 2: [0, 1]}, labels={0: 0, 1: 1, 2: 2})
+    q = QueryGraph([(0, 1), (1, 2), (0, 2)], labels={0: 0, 1: 1, 2: 2})
+    assert count_matches(g, q) == 1
+    q_wrong = QueryGraph([(0, 1), (1, 2), (0, 2)], labels={0: 3, 1: 1, 2: 2})
+    assert count_matches(g, q_wrong) == 0
+
+
+def test_embeddings_are_valid(er_graph):
+    q = path_query(2)
+    for emb in match_subgraph(er_graph, q):
+        assert len(set(emb.values())) == q.num_vertices  # injective
+        for u, v in q.graph.edges():
+            assert er_graph.has_edge(emb[u], emb[v])
+
+
+def test_anchored_union_equals_unanchored(er_graph):
+    q = triangle_query()
+    q0 = q.order[0]
+    total = sum(
+        count_matches(er_graph, q, anchor=(q0, v)) for v in er_graph.vertices()
+    )
+    assert total == count_matches(er_graph, q)
+
+
+def test_anchor_must_be_first_in_order(er_graph):
+    q = path_query(2)
+    wrong = [v for v in q.graph.vertices() if v != q.order[0]][0]
+    with pytest.raises(ValueError):
+        list(match_subgraph(er_graph, q, anchor=(wrong, 0)))
+
+
+def test_empty_query_rejected():
+    with pytest.raises(ValueError):
+        QueryGraph([])
+
+
+def test_query_matching_order_connected():
+    q = QueryGraph([(0, 1), (1, 2), (2, 3), (3, 0)])
+    seen = {q.order[0]}
+    for v in q.order[1:]:
+        assert any(u in seen for u in q.graph.neighbors(v))
+        seen.add(v)
+
+
+def test_matches_reference_on_random_unlabeled():
+    g = erdos_renyi(9, 0.45, seed=4)
+    for q in (triangle_query(), path_query(2), path_query(3), star_query(3)):
+        assert count_matches(g, q) == match_reference(g, q), q.graph
+
+
+def test_matches_reference_labeled():
+    g = with_random_labels(erdos_renyi(9, 0.5, seed=6), 2, seed=7)
+    q = QueryGraph([(0, 1), (1, 2)], labels={0: 0, 1: 1, 2: 0})
+    assert count_matches(g, q) == match_reference(g, q)
+
+
+def test_four_clique_query():
+    q = QueryGraph([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    g = erdos_renyi(10, 0.6, seed=8)
+    assert count_matches(g, q) == match_reference(g, q)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(5, 9), st.floats(0.2, 0.7), st.integers(0, 30))
+def test_triangle_count_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    assert count_matches(g, triangle_query()) == count_triangles(g)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(5, 8), st.floats(0.3, 0.7), st.integers(0, 20))
+def test_reference_property_small(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    q = path_query(2)
+    assert count_matches(g, q) == match_reference(g, q)

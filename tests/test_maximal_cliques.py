@@ -1,0 +1,87 @@
+"""Tests for distributed maximal-clique enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import enumerate_maximal_cliques
+from repro.apps import MaximalCliqueComper, maximal_cliques_containing_min
+from repro.core import GThinkerConfig, run_job
+from repro.graph import Graph, erdos_renyi, ring_of_cliques
+
+
+def cfg(**kw):
+    base = dict(num_workers=3, compers_per_worker=2, task_batch_size=4,
+                cache_capacity=128, cache_buckets=16)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+def oracle(g, min_size=1):
+    return {c for c in enumerate_maximal_cliques(g) if len(c) >= min_size}
+
+
+class TestKernel:
+    def test_partition_by_min_vertex(self, er_graph):
+        adj_full = {v: set(er_graph.neighbors(v)) for v in er_graph.vertices()}
+        union = set()
+        for v in er_graph.vertices():
+            hood = {v} | adj_full[v]
+            local = {u: adj_full[u] & hood for u in hood}
+            for c in maximal_cliques_containing_min(local, v):
+                assert min(c) == v
+                assert c not in union  # each clique owned by one task
+                union.add(c)
+        assert union == oracle(er_graph)
+
+    def test_isolated_vertex_is_maximal(self):
+        g = Graph.from_edges([(0, 1)], extra_vertices=[5])
+        adj = {5: set()}
+        assert list(maximal_cliques_containing_min(adj, 5)) == [(5,)]
+
+    def test_smaller_neighbor_blocks_maximality(self):
+        # Clique {1, 2} extends to {0, 1, 2}: task 1 must emit nothing.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        adj = {v: set(g.neighbors(v)) for v in g.vertices()}
+        assert list(maximal_cliques_containing_min(adj, 1)) == []
+        assert list(maximal_cliques_containing_min(adj, 0)) == [(0, 1, 2)]
+
+
+class TestJob:
+    def test_matches_bron_kerbosch(self, er_graph):
+        res = run_job(MaximalCliqueComper, er_graph, cfg())
+        assert set(res.outputs) == oracle(er_graph)
+        assert res.aggregate == len(oracle(er_graph))
+
+    def test_min_size_filter(self, er_graph):
+        res = run_job(lambda: MaximalCliqueComper(min_size=3), er_graph, cfg())
+        assert set(res.outputs) == oracle(er_graph, min_size=3)
+
+    def test_ring_of_cliques(self, clique_ring):
+        res = run_job(lambda: MaximalCliqueComper(min_size=3), clique_ring, cfg())
+        six_cliques = [c for c in res.outputs if len(c) == 6]
+        assert len(six_cliques) == 5
+
+    def test_rejects_bad_min_size(self):
+        with pytest.raises(ValueError):
+            MaximalCliqueComper(min_size=0)
+
+    def test_no_duplicates(self, er_graph):
+        res = run_job(MaximalCliqueComper, er_graph, cfg())
+        assert len(res.outputs) == len(set(res.outputs))
+
+    def test_threaded(self, er_graph):
+        res = run_job(MaximalCliqueComper, er_graph,
+                      cfg(aggregator_sync_period_s=0.002), runtime="threaded")
+        assert set(res.outputs) == oracle(er_graph)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(4, 25), st.floats(0.1, 0.5), st.integers(0, 60))
+def test_property_vs_oracle(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    res = run_job(
+        MaximalCliqueComper, g,
+        GThinkerConfig(num_workers=2, compers_per_worker=1,
+                       task_batch_size=4, cache_capacity=64),
+    )
+    assert set(res.outputs) == oracle(g)

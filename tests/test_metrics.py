@@ -1,0 +1,81 @@
+"""Tests for metrics and the worker memory model."""
+
+import threading
+
+from repro.core.metrics import MetricsRegistry, WorkerMemoryModel
+
+
+def test_counters():
+    m = MetricsRegistry()
+    m.add("x")
+    m.add("x", 2)
+    assert m.get("x") == 3
+    assert m.get("missing") == 0
+
+
+def test_maxima():
+    m = MetricsRegistry()
+    m.record_max("peak", 5)
+    m.record_max("peak", 3)
+    assert m.get_max("peak") == 5
+
+
+def test_snapshot():
+    m = MetricsRegistry()
+    m.add("a", 2)
+    m.record_max("b", 7)
+    snap = m.snapshot()
+    assert snap == {"a": 2, "max:b": 7}
+
+
+def test_merge_from():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.add("x", 1)
+    a.record_max("m", 5)
+    b.add("x", 2)
+    b.record_max("m", 9)
+    a.merge_from(b)
+    assert a.get("x") == 3
+    assert a.get_max("m") == 9
+
+
+def test_thread_safety():
+    m = MetricsRegistry()
+
+    def bump():
+        for _ in range(5000):
+            m.add("n")
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert m.get("n") == 40_000
+
+
+class TestWorkerMemoryModel:
+    def test_components_sum(self):
+        m = MetricsRegistry()
+        mem = WorkerMemoryModel(m, worker_id=0)
+        mem.set_local_table(1000)
+        mem.add_cache(500)
+        mem.add_tasks(200)
+        assert mem.current() == WorkerMemoryModel.BASELINE_BYTES + 1700
+
+    def test_peak_recorded_per_worker_and_global(self):
+        m = MetricsRegistry()
+        mem = WorkerMemoryModel(m, worker_id=3)
+        mem.add_cache(10_000)
+        mem.add_cache(-10_000)
+        peak = WorkerMemoryModel.BASELINE_BYTES + 10_000
+        assert m.get_max("worker3:peak_memory_bytes") == peak
+        assert m.get_max("peak_memory_bytes") == peak
+        assert mem.current() == WorkerMemoryModel.BASELINE_BYTES
+
+    def test_negative_adjustments(self):
+        m = MetricsRegistry()
+        mem = WorkerMemoryModel(m, worker_id=0)
+        mem.add_tasks(100)
+        mem.add_tasks(-40)
+        assert mem.current() == WorkerMemoryModel.BASELINE_BYTES + 60

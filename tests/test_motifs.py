@@ -1,0 +1,128 @@
+"""Tests for motif-counting kernels against brute-force oracles."""
+
+from itertools import combinations, permutations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.motifs import (
+    clustering_coefficient,
+    count_diamonds,
+    count_four_cliques,
+    count_squares,
+    count_wedges,
+    motif_census,
+)
+from repro.graph import Graph, erdos_renyi, ring_of_cliques
+
+from tests.oracles import nx_of
+
+
+def brute_squares(g: Graph) -> int:
+    """Count 4-cycles: each counted 8x over ordered tuples (rotations x 2)."""
+    vs = g.sorted_vertices()
+    count = 0
+    for (u, a, w, b) in permutations(vs, 4):
+        if (g.has_edge(u, a) and g.has_edge(a, w)
+                and g.has_edge(w, b) and g.has_edge(b, u)):
+            count += 1
+    return count // 8
+
+
+def brute_diamonds(g: Graph) -> int:
+    """Induced diamonds: 4-subsets with exactly 5 edges."""
+    vs = g.sorted_vertices()
+    count = 0
+    for quad in combinations(vs, 4):
+        edges = sum(1 for x, y in combinations(quad, 2) if g.has_edge(x, y))
+        if edges == 5:
+            count += 1
+    return count
+
+
+def brute_k4(g: Graph) -> int:
+    vs = g.sorted_vertices()
+    return sum(
+        1 for quad in combinations(vs, 4)
+        if all(g.has_edge(x, y) for x, y in combinations(quad, 2))
+    )
+
+
+def test_wedges_path():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    assert count_wedges(g) == 2  # centered at 1 and 2
+
+
+def test_wedges_star():
+    g = Graph.from_edges([(0, i) for i in range(1, 5)])
+    assert count_wedges(g) == 6  # C(4, 2)
+
+
+def test_clustering_triangle():
+    g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+    assert clustering_coefficient(g) == pytest.approx(1.0)
+
+
+def test_clustering_triangle_free():
+    g = Graph.from_edges([(0, 1), (1, 2)])
+    assert clustering_coefficient(g) == 0.0
+
+
+def test_clustering_matches_networkx(er_graph):
+    import networkx as nx
+
+    assert clustering_coefficient(er_graph) == pytest.approx(
+        nx.transitivity(nx_of(er_graph))
+    )
+
+
+def test_square_cycle():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    assert count_squares(g) == 1
+
+
+def test_squares_in_k4():
+    g = ring_of_cliques(1, 4)
+    assert count_squares(g) == 3  # K4 contains 3 distinct 4-cycles
+
+
+def test_k4_counts():
+    assert count_four_cliques(ring_of_cliques(1, 4)) == 1
+    assert count_four_cliques(ring_of_cliques(1, 5)) == 5  # C(5, 4)
+    assert count_four_cliques(ring_of_cliques(3, 4)) == 3
+
+
+def test_diamond_simple():
+    g = Graph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+    assert count_diamonds(g) == 1
+    # Complete the K4: the induced diamond disappears.
+    g2 = Graph.from_edges(list(g.edges()) + [(2, 3)])
+    assert count_diamonds(g2) == 0
+
+
+def test_census_keys(er_graph):
+    census = motif_census(er_graph)
+    assert set(census) == {
+        "wedges", "triangles", "clustering", "squares", "four_cliques", "diamonds",
+    }
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(4, 10), st.floats(0.2, 0.8), st.integers(0, 40))
+def test_squares_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    assert count_squares(g) == brute_squares(g)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(4, 11), st.floats(0.2, 0.8), st.integers(0, 40))
+def test_k4_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    assert count_four_cliques(g) == brute_k4(g)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(4, 11), st.floats(0.2, 0.8), st.integers(0, 40))
+def test_diamonds_property(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    assert count_diamonds(g) == brute_diamonds(g)

@@ -1,0 +1,101 @@
+"""Cross-runtime equivalence: serial, threaded and simulated runs of the
+same job must produce identical answers (and identical output *sets* —
+ordering is scheduling-dependent by design)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import count_triangles, max_clique_reference
+from repro.apps import MaxCliqueComper, QuasiCliqueComper, TriangleCountComper
+from repro.core import GThinkerConfig, run_job
+from repro.graph import erdos_renyi
+from repro.sim import run_simulated_job
+
+
+def cfg(**kw):
+    base = dict(num_workers=3, compers_per_worker=2, task_batch_size=4,
+                cache_capacity=64, cache_buckets=16, decompose_threshold=16,
+                aggregator_sync_period_s=0.002)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(100, 0.1, seed=99)
+
+
+def test_tc_equivalence(graph):
+    expected = count_triangles(graph)
+    serial = run_job(TriangleCountComper, graph, cfg(), runtime="serial")
+    threaded = run_job(TriangleCountComper, graph, cfg(), runtime="threaded")
+    simulated = run_simulated_job(TriangleCountComper, graph, cfg())
+    assert serial.aggregate == threaded.aggregate == simulated.aggregate == expected
+
+
+def test_mcf_equivalence(graph):
+    expected = len(max_clique_reference(graph))
+    sizes = {
+        len(run_job(MaxCliqueComper, graph, cfg(), runtime="serial").aggregate),
+        len(run_job(MaxCliqueComper, graph, cfg(), runtime="threaded").aggregate),
+        len(run_simulated_job(MaxCliqueComper, graph, cfg()).aggregate),
+    }
+    assert sizes == {expected}
+
+
+def test_output_sets_equal_across_runtimes():
+    g = erdos_renyi(40, 0.2, seed=7)
+    serial = run_job(lambda: TriangleCountComper(list_triangles=True), g,
+                     cfg(), runtime="serial")
+    threaded = run_job(lambda: TriangleCountComper(list_triangles=True), g,
+                       cfg(), runtime="threaded")
+    assert set(serial.outputs) == set(threaded.outputs)
+    assert len(serial.outputs) == len(threaded.outputs)
+
+
+def test_serial_runs_deterministic(graph):
+    """Two serial runs of the same job produce identical output order."""
+    a = run_job(lambda: TriangleCountComper(list_triangles=True), graph, cfg())
+    b = run_job(lambda: TriangleCountComper(list_triangles=True), graph, cfg())
+    assert a.outputs == b.outputs
+    assert a.aggregate == b.aggregate
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(20, 70),
+    p=st.floats(0.05, 0.25),
+    seed=st.integers(0, 1000),
+    workers=st.integers(1, 5),
+    compers=st.integers(1, 3),
+    batch=st.integers(1, 8),
+    capacity=st.integers(4, 200),
+)
+def test_tc_correct_under_random_configs(n, p, seed, workers, compers, batch, capacity):
+    """Engine-level property: the distributed answer equals the oracle
+    for arbitrary graphs x arbitrary (legal) configurations."""
+    g = erdos_renyi(n, p, seed=seed)
+    config = GThinkerConfig(
+        num_workers=workers, compers_per_worker=compers,
+        task_batch_size=batch, cache_capacity=capacity,
+        cache_buckets=8, sync_every_rounds=8,
+    )
+    res = run_job(TriangleCountComper, g, config)
+    assert res.aggregate == count_triangles(g)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    n=st.integers(15, 45),
+    p=st.floats(0.1, 0.3),
+    seed=st.integers(0, 500),
+    tau=st.integers(2, 40),
+)
+def test_mcf_correct_under_random_decomposition(n, p, seed, tau):
+    """Task decomposition depth must never change the answer."""
+    g = erdos_renyi(n, p, seed=seed)
+    config = GThinkerConfig(num_workers=2, compers_per_worker=2,
+                            task_batch_size=3, cache_capacity=64,
+                            decompose_threshold=tau)
+    res = run_job(MaxCliqueComper, g, config)
+    assert len(res.aggregate or ()) == len(max_clique_reference(g))

@@ -1,0 +1,91 @@
+"""Runtime safety guards: livelock detection, error propagation, limits."""
+
+import pytest
+
+from repro.core.api import Comper, Task, VertexView
+from repro.core.config import GThinkerConfig
+from repro.core.errors import GThinkerError, TaskError
+from repro.core.job import build_cluster, run_job
+from repro.core.runtime import SerialRuntime, ThreadedRuntime
+from repro.graph import erdos_renyi
+from repro.sim import SimulatedRuntime, run_simulated_job
+
+
+class Quiet(Comper):
+    def task_spawn(self, v):
+        pass
+
+    def compute(self, task, frontier):
+        return False
+
+
+class Forever(Comper):
+    """Every task re-pulls forever: the job can never finish."""
+
+    def task_spawn(self, v: VertexView) -> None:
+        t = Task(context=v.id)
+        if v.adj:
+            t.pull(v.adj[0])
+            self.add_task(t)
+
+    def compute(self, task, frontier):
+        task.pull(frontier[0].id)
+        return True  # never finishes
+
+
+def cfg(**kw):
+    base = dict(num_workers=2, compers_per_worker=1, task_batch_size=4,
+                cache_capacity=64, cache_buckets=8, sync_every_rounds=8)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(30, 0.2, seed=4)
+
+
+def test_serial_livelock_guard(graph):
+    cluster = build_cluster(Forever, graph, cfg())
+    with pytest.raises(GThinkerError, match="did not terminate"):
+        SerialRuntime(max_rounds=200).run(cluster)
+
+
+def test_threaded_deadline_guard(graph):
+    cluster = build_cluster(Forever, graph, cfg(aggregator_sync_period_s=0.01))
+    with pytest.raises(GThinkerError, match="exceeded"):
+        ThreadedRuntime(join_timeout_s=1.0).run(cluster)
+
+
+def test_simulated_event_cap(graph):
+    cluster = build_cluster(Forever, graph, cfg(), timed_transport=True)
+    with pytest.raises(GThinkerError):
+        SimulatedRuntime(max_events=2_000).run(cluster)
+
+
+def test_simulated_virtual_time_cap(graph):
+    cluster = build_cluster(Forever, graph, cfg(), timed_transport=True)
+    with pytest.raises(GThinkerError):
+        SimulatedRuntime(max_virtual_time_s=0.05).run(cluster)
+
+
+def test_serial_task_error_includes_task_id(graph):
+    class Bad(Forever):
+        def compute(self, task, frontier):
+            raise KeyError("inner")
+
+    with pytest.raises(TaskError, match="task"):
+        run_job(Bad, graph, cfg())
+
+
+def test_empty_graph_job_terminates():
+    from repro.graph import Graph
+
+    res = run_job(Quiet, Graph(), cfg())
+    assert res.outputs == []
+
+
+def test_app_that_spawns_nothing_terminates(graph):
+    res = run_job(Quiet, graph, cfg())
+    assert res.aggregate is None
+    assert res.metrics.get("tasks:created", 0) == 0

@@ -1,0 +1,79 @@
+"""Tests for the set-enumeration tree (paper Fig. 1)."""
+
+from itertools import chain, combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import children, clique_children, enumerate_subsets, subtree_size
+from repro.graph import Graph
+
+
+def powerset_nonempty(universe):
+    return {
+        tuple(c)
+        for c in chain.from_iterable(
+            combinations(sorted(universe), r) for r in range(1, len(universe) + 1)
+        )
+    }
+
+
+def test_fig1_tree():
+    """The paper's 4-vertex example: 15 non-empty subsets, each once."""
+    subsets = list(enumerate_subsets([0, 1, 2, 3]))
+    assert len(subsets) == 15
+    assert set(subsets) == powerset_nonempty([0, 1, 2, 3])
+
+
+def test_children_extend_with_larger_only():
+    assert children((0, 2), [0, 1, 2, 3]) == [(0, 2, 3)]
+    assert children((), [0, 1, 2]) == [(0,), (1,), (2,)]
+    assert children((2,), [0, 1, 2]) == []
+
+
+def test_subtree_size():
+    assert subtree_size((), [0, 1, 2, 3]) == 16  # includes the root
+    assert subtree_size((1,), [0, 1, 2, 3]) == 4  # {1},{1,2},{1,3},{1,2,3}
+
+
+@settings(max_examples=20)
+@given(st.sets(st.integers(0, 7), min_size=1, max_size=6))
+def test_every_subset_once_property(universe):
+    subsets = list(enumerate_subsets(sorted(universe)))
+    assert len(subsets) == len(set(subsets))
+    assert set(subsets) == powerset_nonempty(universe)
+
+
+def test_clique_children_match_paper_semantics(tiny_graph):
+    """Children of <S, Γ_>(S)> are <S ∪ u, Γ_>(S ∪ u)>."""
+    adj = tiny_graph.adjacency()
+    # S = {0}, ext = Γ_>(0) = {1, 2}
+    kids = clique_children((0,), (1, 2), adj)
+    assert kids == [((0, 1), (2,)), ((0, 2), ())]
+    # Child <{0,1}, {2}>: 2 is adjacent to both 0 and 1 and larger than 1.
+    grandkids = clique_children((0, 1), (2,), adj)
+    assert grandkids == [((0, 1, 2), ())]
+
+
+def test_clique_children_cover_all_cliques():
+    g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    adj = g.adjacency()
+
+    found = set()
+
+    def walk(s, ext):
+        found.add(tuple(sorted(s)))
+        for child_s, child_ext in clique_children(s, ext, adj):
+            walk(child_s, child_ext)
+
+    for v in g.vertices():
+        walk((v,), g.neighbors_gt(v))
+
+    # Everything found is a clique and every clique is found.
+    for s in found:
+        for i, u in enumerate(s):
+            for v in s[i + 1:]:
+                assert g.has_edge(u, v)
+    from repro.algorithms import enumerate_maximal_cliques
+
+    for c in enumerate_maximal_cliques(g):
+        assert tuple(sorted(c)) in found

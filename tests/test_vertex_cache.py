@@ -1,0 +1,274 @@
+"""Tests for the concurrent remote-vertex cache (OP1-OP4, Fig. 6)."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import CacheProtocolError
+from repro.core.vertex_cache import RequestOutcome, VertexCache
+
+
+def make_cache(capacity=100, buckets=8, alpha=0.2, delta=1):
+    return VertexCache(
+        num_buckets=buckets, capacity=capacity, overflow_alpha=alpha,
+        count_delta=delta,
+    )
+
+
+class TestOP1Request:
+    def test_first_request_is_miss_send(self):
+        c = make_cache()
+        out = c.request(5, task_id=1)
+        assert out.status == RequestOutcome.MISS_SEND
+
+    def test_duplicate_request_suppressed(self):
+        """Desirability 3: no duplicate network request for a vertex."""
+        c = make_cache()
+        assert c.request(5, 1).status == RequestOutcome.MISS_SEND
+        assert c.request(5, 2).status == RequestOutcome.MISS_DUPLICATE
+        assert c.request(5, 3).status == RequestOutcome.MISS_DUPLICATE
+
+    def test_hit_after_response(self):
+        c = make_cache()
+        c.request(5, 1)
+        c.insert_response(5, 0, (1, 2))
+        out = c.request(5, 2)
+        assert out.status == RequestOutcome.HIT
+        assert out.entry.adj == (1, 2)
+
+    def test_hit_increments_lock_count(self):
+        c = make_cache()
+        c.request(5, 1)
+        c.insert_response(5, 0, ())
+        c.request(5, 2)
+        entry = c.get_locked(5)
+        assert entry.lock_count == 2
+
+    def test_hit_removes_from_zero_table(self):
+        c = make_cache()
+        c.request(5, 1)
+        c.insert_response(5, 0, ())
+        c.release(5)  # lock_count -> 0, enters Z-table
+        c.request(5, 2)  # back out of Z-table
+        c.check_invariants()
+        assert c.evict(10) == 0  # nothing evictable while locked
+
+
+class TestOP2Response:
+    def test_transfers_waiting_tasks(self):
+        c = make_cache()
+        c.request(7, 11)
+        c.request(7, 22)
+        waiting = c.insert_response(7, 3, (1,))
+        assert waiting == [11, 22]
+        entry = c.get_locked(7)
+        assert entry.lock_count == 2
+        assert entry.label == 3
+
+    def test_response_without_request_rejected(self):
+        c = make_cache()
+        with pytest.raises(CacheProtocolError):
+            c.insert_response(9, 0, ())
+
+    def test_double_response_rejected(self):
+        c = make_cache()
+        c.request(9, 1)
+        c.insert_response(9, 0, ())
+        with pytest.raises(CacheProtocolError):
+            c.insert_response(9, 0, ())
+
+    def test_size_unchanged_by_response(self):
+        c = make_cache(delta=1)
+        c.request(9, 1)
+        before = c.size_estimate
+        c.insert_response(9, 0, ())
+        assert c.size_estimate == before
+
+
+class TestOP3Release:
+    def test_release_to_zero_enables_eviction(self):
+        c = make_cache()
+        c.request(5, 1)
+        c.insert_response(5, 0, ())
+        c.release(5)
+        assert c.evict(10) == 1
+        # Gone: a new request is a miss again.
+        assert c.request(5, 2).status == RequestOutcome.MISS_SEND
+
+    def test_release_unlocked_rejected(self):
+        c = make_cache()
+        with pytest.raises(CacheProtocolError):
+            c.release(5)
+
+    def test_over_release_rejected(self):
+        c = make_cache()
+        c.request(5, 1)
+        c.insert_response(5, 0, ())
+        c.release(5)
+        with pytest.raises(CacheProtocolError):
+            c.release(5)
+
+
+class TestOP4Evict:
+    def test_evicts_only_unlocked(self):
+        c = make_cache()
+        for v in range(10):
+            c.request(v, v)
+            c.insert_response(v, 0, ())
+        for v in range(5):
+            c.release(v)
+        assert c.evict(100) == 5
+        c.check_invariants()
+
+    def test_evict_respects_limit(self):
+        c = make_cache()
+        for v in range(10):
+            c.request(v, v)
+            c.insert_response(v, 0, ())
+            c.release(v)
+        assert c.evict(3) == 3
+        assert c.exact_size() == 7
+
+    def test_default_eviction_clears_overflow(self):
+        c = make_cache(capacity=4, delta=1)
+        for v in range(10):
+            c.request(v, v)
+            c.insert_response(v, 0, ())
+            c.release(v)
+        assert c.size_estimate == 10
+        c.evict()
+        assert c.size_estimate <= 4
+
+
+class TestSizeAccounting:
+    def test_exact_size_counts_gamma_and_r_tables(self):
+        c = make_cache()
+        c.request(1, 1)           # R-table
+        c.request(2, 2)
+        c.insert_response(2, 0, ())  # Γ-table
+        assert c.exact_size() == 2
+
+    def test_delta_commit_threshold(self):
+        """With δ=3, the shared counter lags until 3 local ops happen."""
+        c = make_cache(delta=3)
+        c.request(1, 1)
+        c.request(2, 2)
+        assert c.size_estimate == 0  # still thread-local
+        c.request(3, 3)
+        assert c.size_estimate == 3  # committed at ±δ
+
+    def test_flush_local_counter(self):
+        c = make_cache(delta=100)
+        c.request(1, 1)
+        assert c.size_estimate == 0
+        c.flush_local_counter()
+        assert c.size_estimate == 1
+
+    def test_estimate_error_bounded_by_delta(self):
+        c = make_cache(delta=5)
+        for v in range(23):
+            c.request(v, v)
+        assert abs(c.size_estimate - c.exact_size()) < 5
+
+    def test_overflow_flag(self):
+        c = make_cache(capacity=10, alpha=0.2, delta=1)
+        for v in range(12):
+            c.request(v, v)
+        assert not c.overflowed()  # 12 <= 1.2 * 10
+        c.request(99, 99)
+        assert c.overflowed()
+
+
+class TestConcurrency:
+    def test_parallel_mixed_operations(self):
+        """Full OP1-4 lifecycle from 8 threads; invariants must hold."""
+        c = make_cache(capacity=10_000, buckets=64, delta=4)
+        errors = []
+
+        def worker(tid):
+            try:
+                base = tid * 1000
+                for i in range(300):
+                    v = base + i
+                    assert c.request(v, tid).status == RequestOutcome.MISS_SEND
+                    c.insert_response(v, 0, (1, 2))
+                    assert c.get_locked(v).vid == v
+                    c.release(v)
+                c.flush_local_counter()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        c.check_invariants()
+        assert c.exact_size() == 8 * 300
+        assert c.evict(10**6) == 8 * 300
+
+    def test_contended_single_vertex(self):
+        """Many threads race on one vertex: exactly one MISS_SEND."""
+        c = make_cache()
+        outcomes = []
+        lock = threading.Lock()
+
+        def racer(tid):
+            out = c.request(42, tid)
+            with lock:
+                outcomes.append(out.status)
+
+        threads = [threading.Thread(target=racer, args=(t,)) for t in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count(RequestOutcome.MISS_SEND) == 1
+        assert outcomes.count(RequestOutcome.MISS_DUPLICATE) == 15
+        waiting = c.insert_response(42, 0, ())
+        assert sorted(waiting) == list(range(16))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.sampled_from(["req", "resp", "rel", "evict"])), max_size=80))
+def test_random_op_sequences_preserve_invariants(ops):
+    """Drive random (vertex, op) sequences; apply each op only when the
+    protocol allows it, and check structural invariants throughout."""
+    c = make_cache(capacity=8, buckets=4, delta=1)
+    state = {}  # v -> "requested" | "cached:<locks>"
+    for v, op in ops:
+        if op == "req":
+            out = c.request(v, task_id=v)
+            if state.get(v) is None:
+                assert out.status == RequestOutcome.MISS_SEND
+                state[v] = ("requested", 1)
+            elif state[v][0] == "requested":
+                assert out.status == RequestOutcome.MISS_DUPLICATE
+                state[v] = ("requested", state[v][1] + 1)
+            else:
+                assert out.status == RequestOutcome.HIT
+                state[v] = ("cached", state[v][1] + 1)
+        elif op == "resp" and state.get(v, ("", 0))[0] == "requested":
+            c.insert_response(v, 0, ())
+            state[v] = ("cached", state[v][1])
+        elif op == "rel" and state.get(v, ("", 0))[0] == "cached" and state[v][1] > 0:
+            c.release(v)
+            state[v] = ("cached", state[v][1] - 1)
+        elif op == "evict":
+            evicted = c.evict(3)
+            # Only zero-lock cached vertices can have disappeared.
+            if evicted:
+                gone = [
+                    u for u, (kind, locks) in state.items()
+                    if kind == "cached" and locks == 0
+                ]
+                assert evicted <= len(gone)
+                # Resync: drop evicted ones from our model by probing.
+                for u in gone:
+                    try:
+                        c.get_locked(u)
+                    except CacheProtocolError:
+                        state[u] = None
+        c.check_invariants()

@@ -1,0 +1,156 @@
+"""Tests for the Worker component (local table, spawning, stealing)."""
+
+import pytest
+
+from repro.core.api import Comper, Task, VertexView
+from repro.core.config import GThinkerConfig
+from repro.core.containers import deserialize_tasks
+from repro.core.job import build_cluster
+from repro.core.worker import AtomicCounter, CostMeter
+from repro.graph import erdos_renyi, hash_partition
+
+
+class SpawnEverything(Comper):
+    """Creates one trivial task per vertex (for worker-level tests)."""
+
+    def task_spawn(self, v: VertexView) -> None:
+        self.add_task(Task(context=v.id))
+
+    def compute(self, task, frontier):
+        return False
+
+
+@pytest.fixture
+def cluster(small_config, er_graph):
+    return build_cluster(SpawnEverything, er_graph, small_config)
+
+
+def test_graph_partitioned_across_workers(cluster, er_graph):
+    total = sum(w.num_local_vertices for w in cluster.workers)
+    assert total == er_graph.num_vertices
+    for w in cluster.workers:
+        for v in range(er_graph.num_vertices):
+            if w.owns_vertex(v):
+                assert w.local_view(v) is not None
+
+
+def test_local_view_for_remote_vertex_is_none(cluster):
+    w = cluster.workers[0]
+    remote = next(
+        v for v in range(1000) if hash_partition(v, len(cluster.workers)) != 0
+    )
+    assert w.local_view(remote) is None
+
+
+def test_local_entry_unknown_vertex_raises(cluster):
+    w = cluster.workers[0]
+    with pytest.raises(KeyError):
+        w.local_entry(10**9)
+
+
+def test_spawn_into_respects_room(cluster):
+    w = cluster.workers[0]
+    engine = w.engines[0]
+    before = w.unspawned_count()
+    spawned = w.spawn_into(engine, room=engine.q_task.refill_room())
+    assert spawned > 0
+    assert w.unspawned_count() == before - spawned
+    assert len(engine.q_task) > 0
+
+
+def test_spawn_cursor_exhaustion(cluster):
+    w = cluster.workers[0]
+    engine = w.engines[0]
+    while w.unspawned_count():
+        w.spawn_into(engine, room=10**6)
+        # drain so the queue never blocks the refill loop
+        while engine.q_task.pop() is not None:
+            pass
+    assert w.spawn_into(engine, room=10) == 0
+
+
+def test_spawn_batch_payload_for_stealing(cluster):
+    w = cluster.workers[0]
+    payload_info = w.spawn_batch_payload(max_tasks=5)
+    assert payload_info is not None
+    payload, count = payload_info
+    tasks = deserialize_tasks(payload)
+    assert len(tasks) == count <= 5
+    # Spawned-for-steal tasks come off the same shared cursor.
+    assert w.unspawned_count() < w.num_local_vertices
+
+
+def test_spawn_batch_payload_empty_when_exhausted(cluster):
+    w = cluster.workers[0]
+    w.set_spawn_cursor(w.num_local_vertices)
+    assert w.spawn_batch_payload(5) is None
+
+
+def test_remaining_workload_estimate(cluster):
+    w = cluster.workers[0]
+    est = w.remaining_workload_estimate()
+    assert est == w.unspawned_count()
+    w.l_file.spill([Task(), Task()])
+    assert w.remaining_workload_estimate() == est + 2
+    w.l_file.cleanup()
+
+
+def test_outputs_collected(cluster):
+    w = cluster.workers[0]
+    w.add_output("a")
+    w.add_output("b")
+    assert w.outputs() == ["a", "b"]
+    w.set_outputs(["x"])
+    assert w.outputs() == ["x"]
+
+
+def test_engine_routing_by_global_id(cluster, small_config):
+    for w in cluster.workers:
+        base = w.worker_id * small_config.compers_per_worker
+        for i, engine in enumerate(w.engines):
+            assert engine.global_id == base + i
+            assert w.engine_by_global_id(base + i) is engine
+        with pytest.raises(KeyError):
+            w.engine_by_global_id(base + len(w.engines))
+
+
+def test_trimmer_applied_at_load(small_config):
+    from repro.apps import TriangleCountComper
+
+    g = erdos_renyi(30, 0.3, seed=2)
+    cluster = build_cluster(TriangleCountComper, g, small_config)
+    for w in cluster.workers:
+        for v in g.vertices():
+            view = w.local_view(v) if w.owns_vertex(v) else None
+            if view is not None:
+                assert all(u > v for u in view.adj)  # Γ_> trimming
+
+
+def test_atomic_counter_threadsafe():
+    import threading
+
+    c = AtomicCounter()
+
+    def bump():
+        for _ in range(10_000):
+            c.increment()
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 40_000
+
+
+def test_cost_meter_drain():
+    m = CostMeter()
+    m.add(0.5)
+    m.add(0.25)
+    assert m.drain() == pytest.approx(0.75)
+    assert m.drain() == 0.0
+
+
+def test_gc_step_only_on_overflow(cluster):
+    w = cluster.workers[0]
+    assert w.gc_step() is False  # empty cache: nothing to do
