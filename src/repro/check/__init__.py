@@ -1,0 +1,47 @@
+"""Concurrency protocol checkers (opt-in; see DESIGN.md §8).
+
+The ThreadedRuntime claims to exercise the paper's lock protocols — the
+bucketed vertex cache ``T_cache`` (Fig. 6, OP1–OP4) and the task
+containers ``Q_task``/``B_task``/``T_task`` (Fig. 7) — but nothing in
+the hot path *verifies* them.  This package adds three layers of
+verification, all off by default and enabled together via
+``GThinkerConfig.check_protocols`` or the ``REPRO_CHECK=1`` environment
+variable:
+
+* :class:`TaskLifecycleChecker` — a state machine over every task's life
+  (spawned → queued → parked → ready → computing → yielded/finished)
+  that validates each transition and each ownership handoff across
+  spill, refill and steal.  In particular it enforces the task-identity
+  protocol: ids are minted by the parking comper and invalidated at
+  yield and at serialization, so an arrival is always routed to the
+  engine that actually holds the pending entry.
+* :class:`CheckedVertexCache` — a :class:`~repro.core.vertex_cache.VertexCache`
+  subclass that keeps a per-task lock ledger and asserts OP1–OP4
+  invariants (lock-count balance, Γ/Z/R disjointness, no
+  release-without-request) on every operation.
+* :class:`CheckedTaskQueue` / :class:`SingleWriterGuard` — overlap
+  detectors for the single-writer structures (``Q_task``, the GC
+  cursor): a second thread caught inside a guarded section is a race
+  witness, reported as :class:`~repro.core.errors.ProtocolViolation`.
+
+:class:`CheckedRuntime` is a seeded interleaving fuzzer: it perturbs the
+comper/comm/GC step order deterministically from a seed so that protocol
+races *reproduce* instead of flaking.  ``python -m repro check`` runs it
+over the example apps.
+"""
+
+from .cache import CheckedVertexCache
+from .fuzz import CheckedRuntime, FuzzReport, run_fuzz_suite
+from .guards import CheckedTaskQueue, SingleWriterGuard
+from .lifecycle import TaskLifecycleChecker, TaskState
+
+__all__ = [
+    "CheckedRuntime",
+    "CheckedTaskQueue",
+    "CheckedVertexCache",
+    "FuzzReport",
+    "SingleWriterGuard",
+    "TaskLifecycleChecker",
+    "TaskState",
+    "run_fuzz_suite",
+]

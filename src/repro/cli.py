@@ -63,7 +63,8 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     run = p.add_argument_group("execution")
     run.add_argument("--workers", type=int, default=2)
     run.add_argument("--compers", type=int, default=2)
-    run.add_argument("--runtime", choices=["serial", "threaded"], default="serial")
+    run.add_argument("--runtime", choices=["serial", "threaded", "checked"],
+                     default="serial")
     run.add_argument("--simulate", action="store_true",
                      help="run on the discrete-event simulated cluster")
     run.add_argument("--cache-capacity", type=int, default=50_000)
@@ -106,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("datasets", help="list built-in dataset stand-ins")
     info.add_argument("--scale", type=float, default=0.5)
+
+    check = sub.add_parser(
+        "check",
+        help="fuzz the concurrency protocols (seeded interleavings + checkers)",
+    )
+    check.add_argument("--seeds", type=int, default=20,
+                       help="number of interleaving seeds per app (default 20)")
+    check.add_argument("--vertices", type=int, default=80,
+                       help="Erdos-Renyi graph size (default 80)")
+    check.add_argument("--edge-prob", type=float, default=0.1)
+    check.add_argument("--workers", type=int, default=2)
+    check.add_argument("--compers", type=int, default=2)
+    check.add_argument("--graph-seed", type=int, default=7)
+    check.add_argument("--quiet", action="store_true",
+                       help="only print the final summary")
     return parser
 
 
@@ -169,6 +185,21 @@ def main(argv=None) -> int:
             stats = dataset_stats(make_dataset(name, scale=args.scale))
             print(f"{name:12s} {stats}")
         return 0
+
+    if args.command == "check":
+        from .check import run_fuzz_suite
+
+        report = run_fuzz_suite(
+            seeds=range(args.seeds),
+            num_vertices=args.vertices,
+            edge_prob=args.edge_prob,
+            num_workers=args.workers,
+            compers_per_worker=args.compers,
+            graph_seed=args.graph_seed,
+            verbose=not args.quiet,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
 
     if args.command == "shard":
         g = read_edge_list(args.graph) if args.format == "edges" else read_adjacency(args.graph)

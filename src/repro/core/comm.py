@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from ..net.message import Message, RequestBatch, ResponseBatch, TaskBatchTransfer
 from .containers import comper_of_task_id
+from .errors import GThinkerError, TaskError
 
 __all__ = ["CommService"]
 
@@ -65,15 +66,32 @@ class CommService:
         return bool(batches)
 
     def _dispatch(self, msg: Message, now: float) -> None:
-        if isinstance(msg, RequestBatch):
-            self._serve_requests(msg, now)
-        elif isinstance(msg, ResponseBatch):
-            self._receive_responses(msg)
-        elif isinstance(msg, TaskBatchTransfer):
-            self.worker.l_file.add_payload(msg.payload, msg.num_tasks)
-            self.worker.note_progress()
-        else:  # pragma: no cover - no other message kinds exist
-            raise TypeError(f"unknown message type {type(msg)!r}")
+        """Dispatch one inbound message.
+
+        Any protocol violation here (a misrouted arrival, an unknown
+        vertex, a corrupt batch) is re-raised as a contextual
+        :class:`TaskError` naming the message kind — in threaded mode
+        this service loop is the worker's only request server, so a bare
+        ``KeyError`` would otherwise surface as a dead daemon thread.
+        """
+        try:
+            if isinstance(msg, RequestBatch):
+                self._serve_requests(msg, now)
+            elif isinstance(msg, ResponseBatch):
+                self._receive_responses(msg)
+            elif isinstance(msg, TaskBatchTransfer):
+                self.worker.l_file.add_payload(msg.payload, msg.num_tasks)
+                self.worker.note_progress()
+            else:  # pragma: no cover - no other message kinds exist
+                raise TypeError(f"unknown message type {type(msg)!r}")
+        except (GThinkerError, TypeError):
+            raise
+        except Exception as exc:
+            raise TaskError(
+                -1,
+                f"comm dispatch of {type(msg).__name__} "
+                f"(worker {msg.src} -> {msg.dst}) failed: {exc!r}",
+            ) from exc
 
     def _serve_requests(self, msg: RequestBatch, now: float) -> None:
         """Answer a pull batch from the local vertex table."""
@@ -99,7 +117,22 @@ class CommService:
         for v, label, adj in msg.vertices:
             waiting = self.worker.cache.insert_response(v, label, adj)
             for task_id in waiting:
-                engine = self.worker.engine_by_global_id(comper_of_task_id(task_id))
-                engine.on_vertex_arrival(task_id)
+                try:
+                    engine = self.worker.engine_by_global_id(
+                        comper_of_task_id(task_id)
+                    )
+                    engine.on_vertex_arrival(task_id)
+                except GThinkerError:
+                    raise
+                except Exception as exc:
+                    # A waiting task id that resolves to no engine or no
+                    # pending entry means task identity was corrupted
+                    # somewhere upstream (e.g. an id that survived a
+                    # spill/steal handoff).
+                    raise TaskError(
+                        task_id,
+                        f"cannot deliver arrival of vertex {v} "
+                        f"(ResponseBatch from worker {msg.src}): {exc}",
+                    ) from exc
         self.worker.metrics.add("comm:responses_received", len(msg.vertices))
         self.worker.note_progress()

@@ -46,9 +46,24 @@ class ComperEngine:
         app.bind_engine(self)
 
         cfg = worker.config
-        self.q_task = TaskQueue(cfg.task_batch_size)
+        # The checker is None unless protocol checking is enabled, so
+        # every hook below costs one attribute load + None test.
+        self.checker = worker.checker
+        if self.checker is not None:
+            from ..check import CheckedTaskQueue
+
+            self.q_task = CheckedTaskQueue(
+                cfg.task_batch_size, name=f"Q_task[comper {global_id}]"
+            )
+        else:
+            self.q_task = TaskQueue(cfg.task_batch_size)
         self.b_task = ReadyBuffer()
         self.t_task = PendingTable()
+        self.inline_limit = (
+            cfg.inline_iteration_limit
+            if cfg.inline_iteration_limit is not None
+            else self.INLINE_ITERATION_LIMIT
+        )
         self._seq = 0
         self._active = 0  # tasks taken out of containers, mid-processing
         self._last_compute_cost = 0.0
@@ -63,8 +78,12 @@ class ComperEngine:
         return self.worker.config
 
     def add_task(self, task: Task) -> None:
+        if self.checker is not None:
+            self.checker.on_queued(task, self.global_id)
         spill = self.q_task.append(task)
         if spill is not None:
+            if self.checker is not None:
+                self.checker.on_spilled(spill, self.global_id)
             self.worker.l_file.spill(spill)
         self.worker.metrics.add("tasks:created")
 
@@ -119,6 +138,8 @@ class ComperEngine:
         task = self.b_task.get()
         if task is None:
             return False
+        if self.checker is not None:
+            self.checker.on_resumed(task, self.global_id)
         self._active += 1
         try:
             frontier = self._resolve_ready_frontier(task)
@@ -132,7 +153,7 @@ class ComperEngine:
         for v in task.pulls_in_flight:
             view = self.worker.local_view(v)
             if view is None:
-                entry = self.worker.cache.get_locked(v)
+                entry = self.worker.cache.get_locked(v, task.task_id)
                 view = VertexView(entry.vid, entry.label, entry.adj)
             frontier.append(view)
         return frontier
@@ -149,6 +170,8 @@ class ComperEngine:
             # candidate vertex was pruned by task_spawn — without this,
             # prune-heavy phases would look idle to the scheduler.
             return refilled
+        if self.checker is not None:
+            self.checker.on_started(task, self.global_id)
         self._active += 1
         try:
             self._start(task)
@@ -164,6 +187,8 @@ class ComperEngine:
         """
         tasks = self.worker.l_file.take_file()
         if tasks is not None:
+            if self.checker is not None:
+                self.checker.on_adopted(tasks, self.global_id)
             self.q_task.prepend(tasks)
             return True
         room = self.q_task.refill_room()
@@ -203,6 +228,8 @@ class ComperEngine:
         if task.task_id == -1:
             task.task_id = make_task_id(self.global_id, self._seq)
             self._seq += 1
+        if self.checker is not None:
+            self.checker.on_parked(task, self.global_id)
         self.t_task.insert(task.task_id, task, req=len(remote))
         cache = self.worker.cache
         for v in remote:
@@ -210,6 +237,8 @@ class ComperEngine:
             if outcome.status == RequestOutcome.HIT:
                 ready = self.t_task.notify_arrival(task.task_id)
                 if ready is not None:
+                    if self.checker is not None:
+                        self.checker.on_ready(ready)
                     self.b_task.put(ready)
             elif outcome.status == RequestOutcome.MISS_SEND:
                 self.worker.comm.queue_request(v)
@@ -222,7 +251,8 @@ class ComperEngine:
     #: yields the comper after this many consecutive iterations (it goes
     #: back to Q_task) so one task cannot monopolize its thread and the
     #: runtime's round accounting (livelock guards, sync cadence) stays
-    #: live.
+    #: live.  ``GThinkerConfig.inline_iteration_limit`` overrides this
+    #: default (tests and the interleaving fuzzer lower it).
     INLINE_ITERATION_LIMIT = 64
 
     def _process(self, task: Task, frontier: List[VertexView]) -> None:
@@ -244,18 +274,29 @@ class ComperEngine:
             # non-local vertices from T_cache after each iteration").
             for v in task.pulls_in_flight:
                 if not self.worker.owns_vertex(v):
-                    cache.release(v)
+                    cache.release(v, task.task_id)
             pulls = task.take_pulls()
             task.pulls_in_flight = pulls
             if not more:
+                if self.checker is not None:
+                    self.checker.on_finished(task, self.global_id)
                 self.worker.metrics.add("tasks:finished")
                 return
-            if iterations >= self.INLINE_ITERATION_LIMIT:
+            if iterations >= self.inline_limit:
                 # Yield: return the task (with its pulls restored) to the
                 # queue; a later pop re-resolves them.
                 task.pulls_in_flight = []
                 for v in pulls:
                     task.pull(v)
+                # Invalidate the task id: it encodes the comper that
+                # minted it at park time, but a re-queued task may be
+                # spilled and refilled by a different comper, or stolen
+                # by another worker, and the arrival receiver routes
+                # responses by this id.  The next park mints a fresh
+                # local id on whichever comper then owns the task.
+                task.task_id = -1
+                if self.checker is not None:
+                    self.checker.on_yielded(task, self.global_id)
                 self.add_task(task)
                 self.worker.metrics.add("comper:inline_yields")
                 return
@@ -269,4 +310,6 @@ class ComperEngine:
         """Called by the comm service when a response for a waited vertex lands."""
         ready = self.t_task.notify_arrival(task_id)
         if ready is not None:
+            if self.checker is not None:
+                self.checker.on_ready(ready)
             self.b_task.put(ready)

@@ -7,6 +7,7 @@ Sizes that assumed 64 GB Azure nodes are scaled down but keep the same
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -94,6 +95,17 @@ class GThinkerConfig:
         ``steal_batches`` task batches per sync.
     checkpoint_every_syncs:
         If > 0, write a checkpoint every this many progress syncs.
+    inline_iteration_limit:
+        A task whose pulls keep resolving locally yields its comper after
+        this many consecutive inline iterations (``None`` = the engine
+        default, :attr:`~repro.core.comper.ComperEngine.INLINE_ITERATION_LIMIT`).
+        Tests and the interleaving fuzzer lower it to force the
+        yield/re-queue path.
+    check_protocols:
+        Enable the concurrency protocol checkers (``repro.check``): the
+        task-lifecycle state machine, the cache-protocol wrapper and the
+        single-writer guards.  Off by default (zero hot-path cost); the
+        ``REPRO_CHECK=1`` environment variable enables it globally.
     checkpoint_dir / spill_dir:
         Filesystem locations (spill_dir defaults to a temp dir per job).
     seed:
@@ -117,6 +129,8 @@ class GThinkerConfig:
     checkpoint_every_syncs: int = 0
     checkpoint_dir: Optional[str] = None
     spill_dir: Optional[str] = None
+    inline_iteration_limit: Optional[int] = None
+    check_protocols: bool = False
     seed: int = 0
 
     network: NetworkModel = field(default_factory=NetworkModel)
@@ -138,6 +152,15 @@ class GThinkerConfig:
             raise ValueError("cache_buckets must be >= 1")
         if self.decompose_threshold < 2:
             raise ValueError("decompose_threshold must be >= 2")
+        if self.inline_iteration_limit is not None and self.inline_iteration_limit < 1:
+            raise ValueError("inline_iteration_limit must be >= 1")
+
+    @property
+    def check_enabled(self) -> bool:
+        """Protocol checking, via config flag or ``REPRO_CHECK=1``."""
+        if self.check_protocols:
+            return True
+        return os.environ.get("REPRO_CHECK", "") not in ("", "0")
 
     @property
     def effective_pending_threshold(self) -> int:

@@ -62,8 +62,20 @@ def comper_of_task_id(task_id: int) -> int:
 
 
 def serialize_tasks(tasks: Sequence[Task]) -> bytes:
-    """Pickle a task batch for spilling or stealing."""
-    return pickle.dumps(list(tasks), protocol=pickle.HIGHEST_PROTOCOL)
+    """Pickle a task batch for spilling or stealing.
+
+    Task ids are invalidated first: an id encodes the comper that minted
+    it, and a serialized batch may be refilled by *any* comper of this
+    machine (shared ``L_file``) or shipped to another worker entirely
+    (work stealing).  Were a stale id to survive, the next park would
+    insert the task into the new owner's ``T_task`` while the response
+    receiver routes the arrival by ``comper_of_task_id`` to the original
+    engine.  Every park on a new owner must mint a fresh local id.
+    """
+    tasks = list(tasks)
+    for t in tasks:
+        t.task_id = -1
+    return pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def deserialize_tasks(payload: bytes) -> List[Task]:
@@ -84,9 +96,18 @@ class TaskQueue:
         self.batch_size = batch_size
         self.capacity = 3 * batch_size
         self._q: Deque[Task] = deque()
+        # Owned-side memory gauge: maintained by the owning comper at
+        # every mutation so other threads (the master's memory gauge)
+        # never have to iterate the deque.  Queued tasks are not mutated,
+        # so add-at-append / subtract-at-pop stays drift-free.
+        self._mem_bytes = 0
 
     def __len__(self) -> int:
         return len(self._q)
+
+    def memory_estimate(self) -> int:
+        """Modeled bytes of the queued tasks (safe to read cross-thread)."""
+        return max(0, self._mem_bytes)
 
     def needs_refill(self) -> bool:
         """Paper rule: refill when ``|Q_task| <= C``."""
@@ -106,23 +127,29 @@ class TaskQueue:
         if len(self._q) >= self.capacity:
             spill = [self._q.pop() for _ in range(self.batch_size)]
             spill.reverse()  # preserve original order inside the batch
+            self._mem_bytes -= sum(t.memory_estimate_bytes() for t in spill)
         self._q.append(task)
+        self._mem_bytes += task.memory_estimate_bytes()
         return spill
 
     def prepend(self, tasks: Sequence[Task]) -> None:
         """Refill at the head (refilled tasks run before queued ones)."""
         for t in reversed(tasks):
             self._q.appendleft(t)
+            self._mem_bytes += t.memory_estimate_bytes()
 
     def pop(self) -> Optional[Task]:
         """Fetch the next task from the head."""
         if self._q:
-            return self._q.popleft()
+            task = self._q.popleft()
+            self._mem_bytes -= task.memory_estimate_bytes()
+            return task
         return None
 
     def drain(self) -> List[Task]:
         out = list(self._q)
         self._q.clear()
+        self._mem_bytes = 0
         return out
 
 

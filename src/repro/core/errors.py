@@ -8,6 +8,7 @@ __all__ = [
     "CheckpointError",
     "TaskError",
     "CacheProtocolError",
+    "ProtocolViolation",
 ]
 
 
@@ -33,3 +34,30 @@ class TaskError(GThinkerError):
 
 class CacheProtocolError(GThinkerError):
     """The vertex-cache OP1-OP4 protocol was violated (internal bug guard)."""
+
+
+class ProtocolViolation(GThinkerError):
+    """The protocol checker (``repro.check``) detected a violation.
+
+    Raised only when checking is enabled
+    (``GThinkerConfig.check_protocols`` / ``REPRO_CHECK=1``); carries the
+    subsystem the violation was observed in plus the offending task id
+    and vertex where known.
+    """
+
+    def __init__(
+        self,
+        subsystem: str,
+        message: str,
+        task_id: int = -1,
+        vertex: int = -1,
+    ) -> None:
+        detail = f"[{subsystem}] {message}"
+        if task_id != -1:
+            detail += f" (task {task_id:#x})"
+        if vertex != -1:
+            detail += f" (vertex {vertex})"
+        super().__init__(detail)
+        self.subsystem = subsystem
+        self.task_id = task_id
+        self.vertex = vertex

@@ -178,8 +178,11 @@ def run_job(
         :class:`~repro.core.api.Comper` (one instance per mining thread).
     runtime:
         ``"serial"`` (deterministic single thread; supports
-        checkpointing and failure injection) or ``"threaded"`` (real
-        threads, paper-shaped concurrency).
+        checkpointing and failure injection), ``"threaded"`` (real
+        threads, paper-shaped concurrency), or ``"checked"`` (the
+        seeded interleaving fuzzer from :mod:`repro.check`; forces
+        protocol checkers on and perturbs step order from
+        ``config.seed``).
     checkpoint_path:
         Where periodic checkpoints go when
         ``config.checkpoint_every_syncs > 0`` (serial runtime only).
@@ -187,6 +190,8 @@ def run_job(
         Failure injection for fault-tolerance tests (serial runtime).
     """
     config = config or GThinkerConfig()
+    if runtime == "checked" and not config.check_protocols:
+        config = config.with_updates(check_protocols=True)
     cluster = build_cluster(app_factory, graph, config)
     if checkpoint_path and config.checkpoint_every_syncs > 0:
         cluster.master.checkpoint_hook = lambda: capture(cluster).save(checkpoint_path)
@@ -202,8 +207,16 @@ def run_job(
         if abort_after_rounds is not None:
             raise ValueError("failure injection requires the serial runtime")
         ThreadedRuntime().run(cluster)
+    elif runtime == "checked":
+        if abort_after_rounds is not None:
+            raise ValueError("failure injection requires the serial runtime")
+        from ..check import CheckedRuntime
+
+        CheckedRuntime(seed=config.seed).run(cluster)
     else:
-        raise ValueError(f"unknown runtime {runtime!r} (use 'serial' or 'threaded')")
+        raise ValueError(
+            f"unknown runtime {runtime!r} (use 'serial', 'threaded' or 'checked')"
+        )
     return _finish(cluster, started)
 
 

@@ -116,8 +116,11 @@ class VertexCache:
         self._s_cache_lock = threading.Lock()
         self._local = threading.local()
 
-        # GC round-robin cursor over buckets.
+        # GC round-robin cursor over buckets.  Guarded by _gc_lock: one
+        # service thread calls evict() today, but the cursor must not
+        # silently corrupt if a future change runs GC concurrently.
         self._gc_cursor = 0
+        self._gc_lock = threading.Lock()
 
     # -- bucket addressing ------------------------------------------------
 
@@ -229,8 +232,12 @@ class VertexCache:
 
     # -- OP3: task releases a vertex after an iteration -------------------------
 
-    def release(self, v: int) -> None:
-        """Decrement ``lock_count(v)``; at zero, enter the Z-table."""
+    def release(self, v: int, task_id: int = -1) -> None:
+        """Decrement ``lock_count(v)``; at zero, enter the Z-table.
+
+        ``task_id`` identifies the releasing task; the base cache ignores
+        it, the protocol checker uses it to balance each task's ledger.
+        """
         b = self._bucket(v)
         with b.lock:
             entry = b.gamma.get(v)
@@ -244,11 +251,12 @@ class VertexCache:
 
     # -- reads for ready tasks (no extra lock taken) -----------------------------
 
-    def get_locked(self, v: int) -> CachedVertex:
+    def get_locked(self, v: int, task_id: int = -1) -> CachedVertex:
         """Fetch a vertex this task already holds a lock on.
 
         Used when a pending task becomes ready: its request locks were
         taken at OP1 time, so resolution must *not* re-increment.
+        ``task_id`` is checker attribution, ignored here.
         """
         b = self._bucket(v)
         with b.lock:
@@ -273,16 +281,17 @@ class VertexCache:
         evicted = 0
         scanned_buckets = 0
         freed_bytes = 0
-        while evicted < max_evictions and scanned_buckets < self._num_buckets:
-            b = self._buckets[self._gc_cursor]
-            self._gc_cursor = (self._gc_cursor + 1) % self._num_buckets
-            scanned_buckets += 1
-            with b.lock:
-                while b.zero and evicted < max_evictions:
-                    v = b.zero.pop()
-                    entry = b.gamma.pop(v)
-                    freed_bytes += entry.memory_estimate_bytes()
-                    evicted += 1
+        with self._gc_lock:
+            while evicted < max_evictions and scanned_buckets < self._num_buckets:
+                b = self._buckets[self._gc_cursor]
+                self._gc_cursor = (self._gc_cursor + 1) % self._num_buckets
+                scanned_buckets += 1
+                with b.lock:
+                    while b.zero and evicted < max_evictions:
+                        v = b.zero.pop()
+                        entry = b.gamma.pop(v)
+                        freed_bytes += entry.memory_estimate_bytes()
+                        evicted += 1
         if evicted:
             with self._s_cache_lock:
                 self._s_cache -= evicted

@@ -126,7 +126,21 @@ class Worker:
         self._spawn_next = 0
         self._spawn_lock = threading.Lock()
 
-        self.cache = VertexCache(
+        # Protocol checking (repro.check) is opt-in; when off, checker
+        # stays None and the plain cache/containers are used, so the hot
+        # path pays nothing.  Imported lazily to keep core free of the
+        # check package unless enabled.
+        self.checker = None
+        cache_cls = VertexCache
+        if config.check_enabled:
+            from ..check import CheckedVertexCache, TaskLifecycleChecker
+
+            self.checker = TaskLifecycleChecker(
+                worker_id=worker_id,
+                compers_per_worker=config.compers_per_worker,
+            )
+            cache_cls = CheckedVertexCache
+        self.cache = cache_cls(
             num_buckets=config.cache_buckets,
             capacity=config.cache_capacity,
             overflow_alpha=config.cache_overflow_alpha,
@@ -302,18 +316,10 @@ class Worker:
 
     def update_memory_gauge(self) -> None:
         """Refresh the modeled task-pool footprint (called at sync points)."""
-        task_bytes = 0
-        for e in self.engines:
-            # The owning comper mutates Q_task concurrently in threaded
-            # mode; deque iteration then raises RuntimeError.  The gauge
-            # is an estimate, so fall back to a per-task constant rather
-            # than locking the hot path.
-            try:
-                task_bytes += sum(
-                    t.memory_estimate_bytes() for t in list(e.q_task._q)
-                )
-            except RuntimeError:
-                task_bytes += 256 * len(e.q_task)
+        # Q_task maintains its own byte gauge on the owning comper's
+        # side, so this cross-thread read never iterates the deque (a
+        # concurrent mutation would make deque iteration raise).
+        task_bytes = sum(e.q_task.memory_estimate() for e in self.engines)
         # B_task / T_task tasks are counted coarsely by count to avoid
         # locking every container for long; their subgraphs dominate via
         # the cache bytes anyway.

@@ -106,3 +106,21 @@ def test_cliques_command(tmp_path, capsys):
     assert main(["cliques", "--graph", str(path), "--min-size", "4",
                  "--output", str(out_path)]) == 0
     assert len(out_path.read_text().strip().splitlines()) == 3
+
+
+def test_checked_runtime_flag(edge_file, er_graph, capsys):
+    assert main(["tc", "--graph", edge_file, "--runtime", "checked"]) == 0
+    assert str(count_triangles(er_graph)) in capsys.readouterr().out
+
+
+def test_check_command(capsys):
+    assert main(["check", "--seeds", "2", "--vertices", "30", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "6 fuzz runs" in out  # 3 apps x 2 seeds
+    assert "0 failed" in out
+
+
+def test_check_command_verbose(capsys):
+    assert main(["check", "--seeds", "1", "--vertices", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "ok   tc seed=0" in out

@@ -81,7 +81,7 @@ def test_response_wakes_pending_task():
     v = remote_vertex_of(w0, g)
     task = Task(context="x")
     task.pull(v)
-    engine.q_task.append(task)
+    engine.add_task(task)
     assert engine.step()  # pop -> park + request
     assert len(engine.t_task) == 1
     w0.comm.step()  # flush the request
