@@ -1,6 +1,33 @@
-"""Sec. VI text: RStream and Nuri vs single-machine G-thinker."""
+"""Sec. VI text: RStream and Nuri vs single-machine G-thinker — plus the
+threaded-vs-process runtime comparison (``BENCH_process_runtime.json``).
 
+Run the runtime comparison standalone::
+
+    python benchmarks/bench_single_machine.py --quick
+
+It times the same CPU-bound maximum-clique workload on the serial,
+threaded and process runtimes, checks the answers agree, and writes the
+numbers (including ``os.cpu_count()`` — speedups are only meaningful on
+multi-core machines) to ``BENCH_process_runtime.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import max_clique_reference
+from repro.apps import MaxCliqueComper
 from repro.bench import single_machine_comparison
+from repro.core import GThinkerConfig, run_job
+from repro.graph import erdos_renyi
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_process_runtime.json"
 
 
 def test_single_machine_comparison(run_table):
@@ -11,3 +38,98 @@ def test_single_machine_comparison(run_table):
     # RStream exhausts disk on the big graphs, as in the paper.
     big = {r[1]: r[2] for r in rows if r[1] in ("btc", "friendster")}
     assert all(cell == "used up all disk space" for cell in big.values())
+
+
+def compare_runtimes(quick: bool = False) -> dict:
+    """Serial vs threaded vs process on one CPU-bound MCF workload."""
+    if quick:
+        n, p, seed = 90, 0.12, 13
+        workers, compers = 2, 2
+    else:
+        n, p, seed = 160, 0.12, 13
+        workers, compers = 4, 2
+    graph = erdos_renyi(n, p, seed=seed)
+    config = GThinkerConfig(
+        num_workers=workers,
+        compers_per_worker=compers,
+        task_batch_size=8,
+        cache_capacity=4096,
+        cache_buckets=64,
+        decompose_threshold=12,
+        aggregator_sync_period_s=0.005,
+    )
+    oracle_size = len(max_clique_reference(graph))
+
+    runs = {}
+    for runtime in ("serial", "threaded", "process"):
+        started = time.perf_counter()
+        result = run_job(MaxCliqueComper, graph, config, runtime=runtime)
+        wall_s = time.perf_counter() - started
+        runs[runtime] = {
+            "wall_s": round(wall_s, 4),
+            "engine_elapsed_s": round(result.elapsed_s, 4),
+            "clique_size": len(result.aggregate or ()),
+            "net_messages": int(result.metrics.get("net:messages", 0)),
+            "peak_memory_bytes": int(
+                result.metrics.get("max:peak_memory_bytes", 0)
+            ),
+        }
+        if runtime == "process":
+            runs[runtime]["ipc_batches"] = int(
+                result.metrics.get("ipc:batches", 0)
+            )
+
+    serial_wall = runs["serial"]["wall_s"]
+    report = {
+        "benchmark": "process_runtime_comparison",
+        "workload": "maximum clique (MCF)",
+        "graph": {"model": "erdos_renyi", "n": n, "p": p, "seed": seed},
+        "config": {
+            "num_workers": workers,
+            "compers_per_worker": compers,
+            "decompose_threshold": config.decompose_threshold,
+        },
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "oracle_clique_size": oracle_size,
+        "answers_equal": all(
+            r["clique_size"] == oracle_size for r in runs.values()
+        ),
+        "runtimes": runs,
+        "speedup_vs_serial": {
+            name: round(serial_wall / r["wall_s"], 3)
+            for name, r in runs.items()
+            if name != "serial" and r["wall_s"] > 0
+        },
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="threaded-vs-process runtime benchmark"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph / fewer workers (CI smoke)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = compare_runtimes(quick=args.quick)
+    with open(args.output, "w", encoding="ascii") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(f"cpu_count={report['cpu_count']}  "
+          f"answers_equal={report['answers_equal']}")
+    for name, run in report["runtimes"].items():
+        speedup = report["speedup_vs_serial"].get(name)
+        extra = f"  speedup_vs_serial={speedup}x" if speedup else ""
+        print(f"{name:9s} wall={run['wall_s']:.3f}s "
+              f"clique={run['clique_size']}{extra}")
+    print(f"wrote {args.output}")
+    return 0 if report["answers_equal"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

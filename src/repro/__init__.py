@@ -29,7 +29,10 @@ from .core import (
     Task,
     Trimmer,
     VertexView,
+    available_runtimes,
     build_cluster,
+    capability_matrix,
+    register_runtime,
     resume_job,
     run_job,
 )
@@ -47,7 +50,10 @@ __all__ = [
     "Task",
     "Trimmer",
     "VertexView",
+    "available_runtimes",
     "build_cluster",
+    "capability_matrix",
+    "register_runtime",
     "resume_job",
     "run_job",
     "Graph",

@@ -315,7 +315,7 @@ def table5a_cache_capacity(scale: float = BENCH_SCALE) -> Tuple[List[str], List[
             f"{capacity} ({label})",
             format_seconds(r.virtual_time_s),
             format_bytes(r.peak_memory_bytes),
-            int(r.metrics.get("cache:evictions", 0)),
+            int(r.cache_stats.evictions),
             int(r.metrics.get("comper:pop_blocked_cache", 0)),
         ])
     return headers, rows
@@ -334,7 +334,7 @@ def table5b_alpha(scale: float = BENCH_SCALE) -> Tuple[List[str], List[List[str]
             alpha,
             format_seconds(r.virtual_time_s),
             format_bytes(r.peak_memory_bytes),
-            int(r.metrics.get("cache:evictions", 0)),
+            int(r.cache_stats.evictions),
             int(r.metrics.get("comper:pop_blocked_cache", 0)),
         ])
     return headers, rows

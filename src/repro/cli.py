@@ -23,6 +23,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Optional
 
@@ -35,6 +36,7 @@ from .apps import (
 )
 from .core.config import GThinkerConfig
 from .core.job import run_job
+from .core.runtime import available_runtimes
 from .graph import (
     DATASETS,
     ShardedGraphStore,
@@ -63,7 +65,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     run = p.add_argument_group("execution")
     run.add_argument("--workers", type=int, default=2)
     run.add_argument("--compers", type=int, default=2)
-    run.add_argument("--runtime", choices=["serial", "threaded", "checked"],
+    run.add_argument("--runtime", choices=list(available_runtimes()),
                      default="serial")
     run.add_argument("--simulate", action="store_true",
                      help="run on the discrete-event simulated cluster")
@@ -151,20 +153,20 @@ def _make_config(args) -> GThinkerConfig:
 
 
 def _app_factory(args):
+    # functools.partial, not lambdas: runtime="process" pickles the
+    # factory into every worker process.
     if args.command == "tc":
         if args.bundle:
-            bundle = args.bundle
-            return lambda: BundledTriangleCountComper(bundle_size=bundle)
-        list_mode = args.list
-        return lambda: TriangleCountComper(list_triangles=list_mode)
+            return functools.partial(BundledTriangleCountComper,
+                                     bundle_size=args.bundle)
+        return functools.partial(TriangleCountComper, list_triangles=args.list)
     if args.command == "mcf":
         return MaxCliqueComper
     if args.command == "cliques":
-        min_size = args.min_size
-        return lambda: MaximalCliqueComper(min_size=min_size)
+        return functools.partial(MaximalCliqueComper, min_size=args.min_size)
     if args.command == "qc":
-        gamma, min_size = args.gamma, args.min_size
-        return lambda: QuasiCliqueComper(gamma=gamma, min_size=min_size)
+        return functools.partial(QuasiCliqueComper, gamma=args.gamma,
+                                 min_size=args.min_size)
     raise SystemExit(f"unknown command {args.command}")
 
 

@@ -16,9 +16,22 @@ from .errors import (
     GThinkerError,
     JobAbortedError,
     TaskError,
+    UnknownRuntimeError,
+    UnsupportedRuntimeFeature,
+    WorkerProcessError,
 )
 from .job import JobResult, build_cluster, resume_job, run_job
-from .metrics import MetricsRegistry
+from .metrics import CacheStats, MetricsRegistry, WorkerMetrics
+from .runtime import (
+    JobRequest,
+    RuntimeCapabilities,
+    RuntimeSpec,
+    available_runtimes,
+    capability_matrix,
+    get_runtime,
+    register_runtime,
+    unregister_runtime,
+)
 from .subgraph import Subgraph
 from .vertex_cache import VertexCache
 
@@ -39,11 +52,24 @@ __all__ = [
     "GThinkerError",
     "JobAbortedError",
     "TaskError",
+    "UnknownRuntimeError",
+    "UnsupportedRuntimeFeature",
+    "WorkerProcessError",
     "JobResult",
     "build_cluster",
     "resume_job",
     "run_job",
+    "CacheStats",
     "MetricsRegistry",
+    "WorkerMetrics",
+    "JobRequest",
+    "RuntimeCapabilities",
+    "RuntimeSpec",
+    "available_runtimes",
+    "capability_matrix",
+    "get_runtime",
+    "register_runtime",
+    "unregister_runtime",
     "Subgraph",
     "VertexCache",
 ]

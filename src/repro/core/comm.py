@@ -51,6 +51,10 @@ class CommService:
     def step(self, now: float = 0.0) -> bool:
         """Flush outgoing batches and dispatch every available message."""
         worked = self._flush(now)
+        # Batching transports (ProcessTransport) hold sent messages in
+        # per-destination buffers; drain them every service step so a
+        # quiet worker still ships what its compers queued last round.
+        self.worker.transport.flush_outgoing()
         messages = self.worker.transport.poll(self.worker.worker_id, now=now)
         for msg in messages:
             self._dispatch(msg, now)

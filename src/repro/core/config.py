@@ -106,6 +106,16 @@ class GThinkerConfig:
         task-lifecycle state machine, the cache-protocol wrapper and the
         single-writer guards.  Off by default (zero hot-path cost); the
         ``REPRO_CHECK=1`` environment variable enables it globally.
+    process_start_method:
+        ``multiprocessing`` start method for ``runtime="process"``
+        (``"fork"``, ``"spawn"`` or ``"forkserver"``); ``None`` picks
+        ``fork`` where available (cheap worker startup), else ``spawn``.
+    ipc_batch_max_messages:
+        ``runtime="process"`` only: how many outgoing messages a
+        worker's :class:`~repro.net.transport.ProcessTransport` buffers
+        per destination before forcing a queue put (the IPC analogue of
+        the paper's batched sending; buffers also drain every comm-service
+        step).
     checkpoint_dir / spill_dir:
         Filesystem locations (spill_dir defaults to a temp dir per job).
     seed:
@@ -131,6 +141,8 @@ class GThinkerConfig:
     spill_dir: Optional[str] = None
     inline_iteration_limit: Optional[int] = None
     check_protocols: bool = False
+    process_start_method: Optional[str] = None
+    ipc_batch_max_messages: int = 64
     seed: int = 0
 
     network: NetworkModel = field(default_factory=NetworkModel)
@@ -154,6 +166,12 @@ class GThinkerConfig:
             raise ValueError("decompose_threshold must be >= 2")
         if self.inline_iteration_limit is not None and self.inline_iteration_limit < 1:
             raise ValueError("inline_iteration_limit must be >= 1")
+        if self.ipc_batch_max_messages < 1:
+            raise ValueError("ipc_batch_max_messages must be >= 1")
+        if self.process_start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                f"unknown process_start_method {self.process_start_method!r}"
+            )
 
     @property
     def check_enabled(self) -> bool:

@@ -9,11 +9,40 @@ __all__ = [
     "TaskError",
     "CacheProtocolError",
     "ProtocolViolation",
+    "UnknownRuntimeError",
+    "UnsupportedRuntimeFeature",
+    "WorkerProcessError",
 ]
 
 
 class GThinkerError(Exception):
     """Base class for all framework errors."""
+
+
+class UnknownRuntimeError(GThinkerError, ValueError):
+    """No runtime with that name is registered (see ``register_runtime``)."""
+
+
+class UnsupportedRuntimeFeature(GThinkerError, ValueError):
+    """A requested feature is not in the selected runtime's capabilities.
+
+    Both :func:`~repro.core.job.run_job` and
+    :func:`~repro.core.job.resume_job` raise exactly this type for every
+    unsupported runtime/feature combination (checkpointing, failure
+    injection, resume, ...), so callers have one error to catch.
+    """
+
+
+class WorkerProcessError(GThinkerError):
+    """A worker process of the ``"process"`` runtime died or misbehaved.
+
+    Carries the worker id and, when the child could still report it, the
+    formatted traceback of the original exception.
+    """
+
+    def __init__(self, worker_id: int, message: str) -> None:
+        super().__init__(f"worker process {worker_id}: {message}")
+        self.worker_id = worker_id
 
 
 class JobAbortedError(GThinkerError):

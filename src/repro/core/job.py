@@ -12,6 +12,14 @@ Typical use::
 vertex-id hashing at load, the paper's Pregel-style placement) or a
 :class:`repro.graph.ShardedGraphStore` (each worker parses its own shard,
 the HDFS-loading contract).
+
+Runtime selection goes through the pluggable registry in
+:mod:`repro.core.runtime`: ``run_job`` and ``resume_job`` share one
+dispatch path, validate the requested features (checkpointing, failure
+injection, resume) against the runtime's declared capabilities, and both
+raise :class:`~repro.core.errors.UnsupportedRuntimeFeature` for any
+unsupported combination.  This module registers the four built-in
+runtimes: ``serial``, ``threaded``, ``checked`` and ``process``.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from __future__ import annotations
 import shutil
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -30,10 +38,17 @@ from ..net.transport import Transport
 from .api import Comper
 from .checkpoint import JobCheckpoint, capture, restore_task
 from .config import GThinkerConfig
-from .errors import JobAbortedError
 from .master import Master
-from .metrics import MetricsRegistry
-from .runtime import Cluster, SerialRuntime, ThreadedRuntime
+from .metrics import MetricsAccessors, MetricsRegistry
+from .runtime import (
+    Cluster,
+    JobRequest,
+    RuntimeCapabilities,
+    SerialRuntime,
+    ThreadedRuntime,
+    get_runtime,
+    register_runtime,
+)
 from .worker import Worker
 
 __all__ = ["JobResult", "build_cluster", "run_job", "resume_job"]
@@ -42,8 +57,14 @@ GraphSource = Union[Graph, ShardedGraphStore]
 
 
 @dataclass
-class JobResult:
-    """What a finished job returns."""
+class JobResult(MetricsAccessors):
+    """What a finished job returns.
+
+    Besides the raw ``metrics`` snapshot, typed accessors are available:
+    ``result.cache_stats`` (hits/misses/evictions) and
+    ``result.worker_metrics(i)`` (per-worker peaks) — prefer them over
+    poking ``"max:worker0:peak_memory_bytes"``-style string keys.
+    """
 
     aggregate: Any
     outputs: List[Any]
@@ -87,6 +108,7 @@ def build_cluster(
         network=config.network,
         timed=timed_transport,
     )
+    owns_spill_root = config.spill_dir is None
     spill_root = Path(config.spill_dir) if config.spill_dir else Path(
         tempfile.mkdtemp(prefix="gthinker-spill-")
     )
@@ -107,6 +129,7 @@ def build_cluster(
     return Cluster(
         workers=workers, master=master, transport=transport,
         metrics=metrics, config=config,
+        spill_root=spill_root, owns_spill_root=owns_spill_root,
     )
 
 
@@ -148,9 +171,16 @@ def _seed_from_checkpoint(cluster: Cluster, ckpt: JobCheckpoint) -> None:
             engine.add_task(restore_task(tsnap))
 
 
-def _finish(cluster: Cluster, started: float) -> JobResult:
+def _teardown(cluster: Cluster) -> None:
+    """Release worker resources; remove the spill root iff we made it."""
     for w in cluster.workers:
         w.cleanup()
+    if cluster.owns_spill_root and cluster.spill_root is not None:
+        shutil.rmtree(cluster.spill_root, ignore_errors=True)
+
+
+def _finish(cluster: Cluster, started: float) -> JobResult:
+    _teardown(cluster)
     return JobResult(
         aggregate=cluster.master.global_aggregator.value,
         outputs=[rec for w in cluster.workers for rec in w.outputs()],
@@ -159,6 +189,135 @@ def _finish(cluster: Cluster, started: float) -> JobResult:
         num_workers=cluster.config.num_workers,
         compers_per_worker=cluster.config.compers_per_worker,
     )
+
+
+# ---------------------------------------------------------------------------
+# Built-in runtime executors
+# ---------------------------------------------------------------------------
+
+
+class ClusterRuntimeExecutor:
+    """Shared shape of the in-process runtimes (serial/threaded/checked).
+
+    Builds a cluster, optionally seeds it from a checkpoint, drives it,
+    and — success or failure — tears the workers down so the
+    ``gthinker-spill-*`` tempdir never leaks.  Subclasses override
+    :meth:`prepare_config` and :meth:`drive`.
+    """
+
+    def prepare_config(self, config: GThinkerConfig) -> GThinkerConfig:
+        return config
+
+    def drive(self, cluster: Cluster, request: JobRequest) -> None:
+        raise NotImplementedError
+
+    def execute(self, request: JobRequest) -> JobResult:
+        config = self.prepare_config(request.config)
+        cluster = build_cluster(request.app_factory, request.graph, config)
+        if request.checkpoint is not None:
+            _seed_from_checkpoint(cluster, request.checkpoint)
+        if request.checkpoint_path and config.checkpoint_every_syncs > 0:
+            cluster.master.checkpoint_hook = (
+                lambda: capture(cluster).save(request.checkpoint_path)
+            )
+        started = time.perf_counter()
+        try:
+            self.drive(cluster, request)
+        except BaseException:
+            _teardown(cluster)
+            raise
+        return _finish(cluster, started)
+
+
+class SerialExecutor(ClusterRuntimeExecutor):
+    def drive(self, cluster: Cluster, request: JobRequest) -> None:
+        SerialRuntime().run(
+            cluster, abort_after_rounds=request.abort_after_rounds
+        )
+
+
+class ThreadedExecutor(ClusterRuntimeExecutor):
+    def drive(self, cluster: Cluster, request: JobRequest) -> None:
+        ThreadedRuntime().run(cluster)
+
+
+class CheckedExecutor(ClusterRuntimeExecutor):
+    def prepare_config(self, config: GThinkerConfig) -> GThinkerConfig:
+        if not config.check_protocols:
+            config = config.with_updates(check_protocols=True)
+        return config
+
+    def drive(self, cluster: Cluster, request: JobRequest) -> None:
+        from ..check import CheckedRuntime
+
+        CheckedRuntime(seed=cluster.config.seed).run(cluster)
+
+
+def _process_executor():
+    # Imported lazily: the process backend pulls in multiprocessing and
+    # shared_memory, which serial test runs never need.
+    from .procruntime import ProcessExecutor
+
+    return ProcessExecutor()
+
+
+register_runtime(
+    "serial",
+    SerialExecutor,
+    RuntimeCapabilities(
+        checkpointing=True, failure_injection=True,
+        protocol_checking=True, resume=True,
+    ),
+    replace=True,
+)
+register_runtime(
+    "threaded",
+    ThreadedExecutor,
+    RuntimeCapabilities(protocol_checking=True, resume=True),
+    replace=True,
+)
+register_runtime(
+    "checked",
+    CheckedExecutor,
+    RuntimeCapabilities(protocol_checking=True, resume=True),
+    replace=True,
+)
+register_runtime(
+    "process",
+    _process_executor,
+    RuntimeCapabilities(protocol_checking=True),
+    replace=True,
+)
+
+
+def _dispatch(
+    runtime: str,
+    app_factory: Callable[[], Comper],
+    graph: GraphSource,
+    config: GThinkerConfig,
+    checkpoint_path: Optional[str] = None,
+    abort_after_rounds: Optional[int] = None,
+    checkpoint: Optional[JobCheckpoint] = None,
+) -> JobResult:
+    """The single dispatch path shared by run_job and resume_job."""
+    spec = get_runtime(runtime)
+    wanted = []
+    if checkpoint_path is not None:
+        wanted.append("checkpointing")
+    if abort_after_rounds is not None:
+        wanted.append("failure_injection")
+    if checkpoint is not None:
+        wanted.append("resume")
+    spec.require(*wanted)
+    executor = spec.factory()
+    return executor.execute(JobRequest(
+        app_factory=app_factory,
+        graph=graph,
+        config=config,
+        checkpoint_path=checkpoint_path,
+        abort_after_rounds=abort_after_rounds,
+        checkpoint=checkpoint,
+    ))
 
 
 def run_job(
@@ -176,48 +335,38 @@ def run_job(
     app_factory:
         A zero-argument callable producing the user's
         :class:`~repro.core.api.Comper` (one instance per mining thread).
+        The ``"process"`` runtime additionally requires it to be
+        picklable (a class or :func:`functools.partial`, not a lambda).
     runtime:
-        ``"serial"`` (deterministic single thread; supports
+        Any name in :func:`repro.core.runtime.available_runtimes`.
+        Built-ins: ``"serial"`` (deterministic single thread; supports
         checkpointing and failure injection), ``"threaded"`` (real
-        threads, paper-shaped concurrency), or ``"checked"`` (the
-        seeded interleaving fuzzer from :mod:`repro.check`; forces
+        threads, paper-shaped concurrency, GIL-serialized), ``"checked"``
+        (the seeded interleaving fuzzer from :mod:`repro.check`; forces
         protocol checkers on and perturbs step order from
-        ``config.seed``).
+        ``config.seed``), and ``"process"`` (worker processes with the
+        graph in shared memory — real CPU parallelism).
     checkpoint_path:
         Where periodic checkpoints go when
-        ``config.checkpoint_every_syncs > 0`` (serial runtime only).
+        ``config.checkpoint_every_syncs > 0``.  Requires a runtime with
+        the ``checkpointing`` capability (built-in: serial only).
     abort_after_rounds:
-        Failure injection for fault-tolerance tests (serial runtime).
+        Failure injection for fault-tolerance tests.  Requires the
+        ``failure_injection`` capability (built-in: serial only).
+
+    Raises
+    ------
+    UnknownRuntimeError
+        ``runtime`` names no registered runtime.
+    UnsupportedRuntimeFeature
+        The runtime exists but does not support a requested feature.
     """
     config = config or GThinkerConfig()
-    if runtime == "checked" and not config.check_protocols:
-        config = config.with_updates(check_protocols=True)
-    cluster = build_cluster(app_factory, graph, config)
-    if checkpoint_path and config.checkpoint_every_syncs > 0:
-        cluster.master.checkpoint_hook = lambda: capture(cluster).save(checkpoint_path)
-    started = time.perf_counter()
-    if runtime == "serial":
-        try:
-            SerialRuntime().run(cluster, abort_after_rounds=abort_after_rounds)
-        except JobAbortedError:
-            for w in cluster.workers:
-                w.cleanup()
-            raise
-    elif runtime == "threaded":
-        if abort_after_rounds is not None:
-            raise ValueError("failure injection requires the serial runtime")
-        ThreadedRuntime().run(cluster)
-    elif runtime == "checked":
-        if abort_after_rounds is not None:
-            raise ValueError("failure injection requires the serial runtime")
-        from ..check import CheckedRuntime
-
-        CheckedRuntime(seed=config.seed).run(cluster)
-    else:
-        raise ValueError(
-            f"unknown runtime {runtime!r} (use 'serial', 'threaded' or 'checked')"
-        )
-    return _finish(cluster, started)
+    return _dispatch(
+        runtime, app_factory, graph, config,
+        checkpoint_path=checkpoint_path,
+        abort_after_rounds=abort_after_rounds,
+    )
 
 
 def resume_job(
@@ -226,19 +375,24 @@ def resume_job(
     checkpoint_path: str,
     config: Optional[GThinkerConfig] = None,
     runtime: str = "serial",
+    abort_after_rounds: Optional[int] = None,
 ) -> JobResult:
-    """Recover from a checkpoint and run the remainder of the job."""
+    """Recover from a checkpoint and run the remainder of the job.
+
+    Shares :func:`run_job`'s registry dispatch: any runtime with the
+    ``resume`` capability works (built-ins: serial, threaded, checked),
+    and unsupported combinations raise the same
+    :class:`~repro.core.errors.UnsupportedRuntimeFeature` run_job raises.
+    ``abort_after_rounds`` injects a failure mid-recovery for
+    fault-tolerance tests (serial only, as in run_job).
+    """
+    get_runtime(runtime)  # validate the name before touching the file
     ckpt = JobCheckpoint.load(checkpoint_path)
     config = config or GThinkerConfig(
         num_workers=ckpt.num_workers, compers_per_worker=ckpt.compers_per_worker
     )
-    cluster = build_cluster(app_factory, graph, config)
-    _seed_from_checkpoint(cluster, ckpt)
-    started = time.perf_counter()
-    if runtime == "serial":
-        SerialRuntime().run(cluster)
-    elif runtime == "threaded":
-        ThreadedRuntime().run(cluster)
-    else:
-        raise ValueError(f"unknown runtime {runtime!r}")
-    return _finish(cluster, started)
+    return _dispatch(
+        runtime, app_factory, graph, config,
+        abort_after_rounds=abort_after_rounds,
+        checkpoint=ckpt,
+    )

@@ -12,9 +12,16 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional
 
-__all__ = ["MetricsRegistry", "WorkerMemoryModel"]
+__all__ = [
+    "MetricsRegistry",
+    "WorkerMemoryModel",
+    "CacheStats",
+    "WorkerMetrics",
+    "MetricsAccessors",
+]
 
 
 class MetricsRegistry:
@@ -54,6 +61,22 @@ class MetricsRegistry:
             out.update({f"max:{k}": v for k, v in self._maxima.items()})
             return out
 
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, float]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        Registries hold a lock, so they cannot cross process boundaries;
+        worker processes ship their snapshot and the parent reconstructs
+        a registry here to feed :meth:`merge_from`.
+        """
+        reg = cls()
+        for k, v in snapshot.items():
+            if k.startswith("max:"):
+                reg._maxima[k[len("max:"):]] = v
+            else:
+                reg._counters[k] = v
+        return reg
+
     def merge_from(self, other: "MetricsRegistry") -> None:
         snap = other.snapshot()
         with self._lock:
@@ -67,6 +90,79 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MetricsRegistry({self.snapshot()})"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Typed view of the vertex-cache counters in a metrics snapshot."""
+
+    hits: int
+    misses_first: int
+    misses_duplicate: int
+    responses: int
+    evictions: int
+
+    @property
+    def misses(self) -> int:
+        return self.misses_first + self.misses_duplicate
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class WorkerMetrics:
+    """Typed view of one worker's slice of a metrics snapshot."""
+
+    worker_id: int
+    peak_memory_bytes: float
+    #: Every metric keyed to this worker, with the worker prefix removed.
+    raw: Dict[str, float]
+
+
+class MetricsAccessors:
+    """Typed accessors over a ``metrics`` snapshot dict.
+
+    Mixed into :class:`~repro.core.job.JobResult` and
+    :class:`~repro.sim.SimJobResult` so benchmarks read
+    ``result.cache_stats.evictions`` or
+    ``result.worker_metrics(0).peak_memory_bytes`` instead of
+    string-poking ``"max:worker0:peak_memory_bytes"`` keys.
+    """
+
+    metrics: Dict[str, float]
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        m = self.metrics
+        return CacheStats(
+            hits=int(m.get("cache:hits", 0)),
+            misses_first=int(m.get("cache:miss_first", 0)),
+            misses_duplicate=int(m.get("cache:miss_duplicate", 0)),
+            responses=int(m.get("cache:responses", 0)),
+            evictions=int(m.get("cache:evictions", 0)),
+        )
+
+    def worker_metrics(self, worker_id: int) -> WorkerMetrics:
+        prefix = f"worker{worker_id}:"
+        raw: Dict[str, float] = {}
+        for key, value in self.metrics.items():
+            base = key[len("max:"):] if key.startswith("max:") else key
+            if base.startswith(prefix):
+                raw[base[len(prefix):]] = value
+        return WorkerMetrics(
+            worker_id=worker_id,
+            peak_memory_bytes=self.metrics.get(
+                f"max:{prefix}peak_memory_bytes", 0.0
+            ),
+            raw=raw,
+        )
 
 
 class WorkerMemoryModel:

@@ -1,0 +1,430 @@
+"""The ``runtime="process"`` backend: real CPU parallelism.
+
+The paper's headline claim is *CPU-bound* execution; the threaded
+runtime cannot show it because the GIL serializes the mining work.  This
+backend runs one OS process per worker:
+
+* the graph lives in :class:`~repro.graph.csr.SharedCSR` shared-memory
+  segments — every worker maps it read-only at zero copy and
+  materializes only its own hash partition's rows, lazily;
+* inter-worker vertex pulls/responses travel over
+  :class:`~repro.net.transport.ProcessTransport` — batched per
+  destination, drained through ``multiprocessing`` queues (the paper's
+  batched sending applied to IPC);
+* a control plane of per-worker pipes carries the master protocol:
+  periodic syncs (aggregator partials up, global value down, status
+  snapshot for termination detection), master-coordinated steal
+  commands, and the final report (outputs + metrics snapshot), with each
+  worker's :class:`~repro.core.metrics.MetricsRegistry` merged into the
+  parent via ``merge_from`` at join time.
+
+Termination mirrors :class:`~repro.core.master.Master`'s double
+snapshot: two consecutive syncs must observe every worker drained
+(no tasks in memory / on disk / unspawned, no queued or buffered
+outgoing messages), a globally balanced ``sent == received`` message
+count, and an unchanged progress counter between the observations.
+
+Capabilities: protocol checking works (each process checks its own
+worker); checkpointing, failure injection and resume do not — the
+parent cannot quiesce-and-introspect workers it does not share memory
+with, and ``run_job``/``resume_job`` reject those combinations with
+:class:`~repro.core.errors.UnsupportedRuntimeFeature` before any process
+is spawned.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import shutil
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..graph.csr import SharedCSR
+from ..graph.graph import Graph
+from ..graph.io import ShardedGraphStore
+from ..net.message import TaskBatchTransfer
+from ..net.transport import ProcessTransport
+from .aggregator import GlobalAggregator
+from .errors import GThinkerError, WorkerProcessError
+from .metrics import MetricsRegistry
+from .runtime import JobRequest
+from .worker import Worker
+
+__all__ = ["ProcessExecutor"]
+
+#: Idle backoff inside a worker process when a round does no work.
+_IDLE_SLEEP_S = 0.0005
+
+#: How long the parent waits for any single control-plane reply.
+_REPLY_TIMEOUT_S = 60.0
+
+
+@dataclass
+class _Status:
+    """One worker's answer to a sync command."""
+
+    worker_id: int
+    tasks_in_memory: int
+    tasks_on_disk: int
+    unspawned: int
+    outgoing: int
+    sent: int
+    received: int
+    progress: int
+    workload: int
+    partial: Any
+
+
+@dataclass
+class _Final:
+    """One worker's end-of-job report."""
+
+    worker_id: int
+    outputs: List[Any]
+    metrics: Dict[str, float]
+    partial: Any
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
+    """Entry point of one worker process.
+
+    Steps its worker's components (comm service, comper engines, GC)
+    round-robin — the per-machine layout of the serial runtime, but with
+    every machine on its own core — and answers control commands from
+    the parent between rounds.
+    """
+    csr = None
+    worker = None
+    spill_root: Optional[Path] = None
+    owns_spill = config.spill_dir is None
+    try:
+        csr = SharedCSR.attach(csr_meta)
+        spill_root = Path(config.spill_dir) if config.spill_dir else Path(
+            tempfile.mkdtemp(prefix=f"gthinker-spill-proc{worker_id}-")
+        )
+        metrics = MetricsRegistry()
+        transport = ProcessTransport(
+            worker_id,
+            data_queues,
+            metrics=metrics,
+            max_batch_messages=config.ipc_batch_max_messages,
+        )
+        worker = Worker(
+            worker_id=worker_id,
+            num_workers=config.num_workers,
+            config=config,
+            app_factory=app_factory,
+            transport=transport,
+            metrics=metrics,
+            spill_dir=spill_root,
+        )
+        worker.load_shared(csr)
+
+        while True:
+            worked = worker.comm.step()
+            for engine in worker.engines:
+                worked = engine.step() or worked
+            worked = worker.gc_step() or worked
+
+            while conn.poll(0):
+                cmd = conn.recv()
+                tag = cmd[0]
+                if tag == "sync":
+                    worker.aggregator.publish_global(cmd[1])
+                    worker.update_memory_gauge()
+                    transport.flush_outgoing()
+                    conn.send(_Status(
+                        worker_id=worker_id,
+                        tasks_in_memory=worker.tasks_in_memory(),
+                        tasks_on_disk=len(worker.l_file),
+                        unspawned=worker.unspawned_count(),
+                        outgoing=(worker.comm.pending_outgoing()
+                                  + transport.pending_unflushed()),
+                        sent=transport.sent_count,
+                        received=transport.received_count,
+                        progress=worker.progress.value,
+                        workload=worker.remaining_workload_estimate(),
+                        partial=worker.aggregator.take_partial(),
+                    ))
+                elif tag == "steal":
+                    _tag, thief_id, max_tasks = cmd
+                    payload_info = worker.l_file.take_payload()
+                    if payload_info is None:
+                        payload_info = worker.spawn_batch_payload(max_tasks)
+                    moved = 0
+                    if payload_info is not None:
+                        payload, moved = payload_info
+                        transport.send(TaskBatchTransfer(
+                            src=worker_id, dst=thief_id,
+                            payload=payload, num_tasks=moved,
+                        ))
+                        transport.flush_outgoing()
+                    conn.send(("stolen", moved))
+                elif tag == "stop":
+                    worker.update_memory_gauge()
+                    conn.send(_Final(
+                        worker_id=worker_id,
+                        outputs=worker.outputs(),
+                        metrics=metrics.snapshot(),
+                        partial=worker.aggregator.take_partial(),
+                    ))
+                    return
+                else:
+                    raise GThinkerError(f"unknown control command {tag!r}")
+
+            if not worked:
+                time.sleep(_IDLE_SLEEP_S)
+    except BaseException as exc:
+        try:
+            conn.send(("error", worker_id, type(exc).__name__,
+                       "".join(traceback.format_exception(type(exc), exc,
+                                                          exc.__traceback__))))
+        except Exception:
+            pass
+    finally:
+        if worker is not None:
+            worker.cleanup()
+        if owns_spill and spill_root is not None:
+            shutil.rmtree(spill_root, ignore_errors=True)
+        if csr is not None:
+            csr.close()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side master
+# ---------------------------------------------------------------------------
+
+
+class _ProcessMaster:
+    """Drives the control plane: syncs, steals, termination, shutdown."""
+
+    def __init__(self, conns, procs, config, aggregator_prototype,
+                 join_timeout_s: float) -> None:
+        self.conns = conns
+        self.procs = procs
+        self.config = config
+        self.global_aggregator = GlobalAggregator(aggregator_prototype)
+        self.join_timeout_s = join_timeout_s
+        self.metrics = MetricsRegistry()
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _recv(self, worker_id: int, timeout: float = _REPLY_TIMEOUT_S):
+        conn = self.conns[worker_id]
+        deadline = time.monotonic() + timeout
+        while not conn.poll(0.05):
+            if not self.procs[worker_id].is_alive():
+                # Exit may have raced a final message into the pipe.
+                if conn.poll(0.25):
+                    break
+                raise WorkerProcessError(
+                    worker_id,
+                    f"died with exit code {self.procs[worker_id].exitcode} "
+                    f"without reporting an error",
+                )
+            if time.monotonic() > deadline:
+                raise WorkerProcessError(
+                    worker_id, f"no control-plane reply within {timeout}s"
+                )
+        msg = conn.recv()
+        if isinstance(msg, tuple) and msg and msg[0] == "error":
+            _tag, wid, exc_type, tb = msg
+            raise WorkerProcessError(wid, f"{exc_type} raised:\n{tb}")
+        return msg
+
+    def _send(self, worker_id: int, cmd) -> None:
+        try:
+            self.conns[worker_id].send(cmd)
+        except (BrokenPipeError, OSError):
+            # The worker died; surface its error report if it got one out.
+            self._recv(worker_id, timeout=1.0)
+            raise WorkerProcessError(
+                worker_id, "control pipe closed unexpectedly"
+            )
+
+    # -- protocol ---------------------------------------------------------
+
+    def _sweep(self) -> List[_Status]:
+        value = self.global_aggregator.value
+        for wid in range(len(self.conns)):
+            self._send(wid, ("sync", value))
+        statuses = []
+        for wid in range(len(self.conns)):
+            msg = self._recv(wid)
+            if not isinstance(msg, _Status):
+                raise WorkerProcessError(
+                    wid, f"expected a status report, got {type(msg).__name__}"
+                )
+            statuses.append(msg)
+        for s in statuses:
+            self.global_aggregator.fold(s.partial)
+        return statuses
+
+    def _plan_steals(self, statuses: List[_Status]) -> None:
+        if not self.config.steal_enabled or len(statuses) < 2:
+            return
+        estimates = [[s.workload, s.worker_id] for s in statuses]
+        batch = self.config.task_batch_size
+        for _ in range(self.config.steal_batches):
+            estimates.sort()
+            low, high = estimates[0], estimates[-1]
+            if high[0] - low[0] <= 2 * batch:
+                return
+            self._send(high[1], ("steal", low[1], batch))
+            reply = self._recv(high[1])
+            moved = reply[1] if isinstance(reply, tuple) else 0
+            if moved == 0:
+                return
+            low[0] += moved
+            high[0] -= moved
+            self.metrics.add("steal:batches")
+            self.metrics.add("steal:tasks", moved)
+
+    def run(self) -> List[_Final]:
+        deadline = time.monotonic() + self.join_timeout_s
+        prev_idle = False
+        prev_progress = -1
+        while True:
+            statuses = self._sweep()
+            self._plan_steals(statuses)
+            idle = (
+                all(
+                    s.tasks_in_memory == 0 and s.tasks_on_disk == 0
+                    and s.unspawned == 0 and s.outgoing == 0
+                    for s in statuses
+                )
+                and sum(s.sent for s in statuses)
+                == sum(s.received for s in statuses)
+            )
+            progress = sum(s.progress for s in statuses)
+            if idle and prev_idle and progress == prev_progress:
+                break
+            prev_idle, prev_progress = idle, progress
+            if time.monotonic() > deadline:
+                raise GThinkerError(
+                    f"process job exceeded {self.join_timeout_s}s"
+                )
+            time.sleep(self.config.aggregator_sync_period_s)
+
+        finals: List[_Final] = []
+        for wid in range(len(self.conns)):
+            self._send(wid, ("stop",))
+        for wid in range(len(self.conns)):
+            msg = self._recv(wid)
+            if not isinstance(msg, _Final):
+                raise WorkerProcessError(
+                    wid, f"expected a final report, got {type(msg).__name__}"
+                )
+            # The paper's closing rule: one more aggregation pass so data
+            # from every task is folded before the job result is read.
+            self.global_aggregator.fold(msg.partial)
+            finals.append(msg)
+        return finals
+
+
+# ---------------------------------------------------------------------------
+# The executor registered as runtime="process"
+# ---------------------------------------------------------------------------
+
+
+class ProcessExecutor:
+    """``execute(JobRequest) -> JobResult`` via worker processes."""
+
+    def __init__(self, join_timeout_s: float = 600.0) -> None:
+        self.join_timeout_s = join_timeout_s
+
+    def execute(self, request: JobRequest):
+        from .job import JobResult  # deferred: job.py imports us lazily
+
+        config = request.config
+        app_factory = request.app_factory
+        try:
+            pickle.dumps(app_factory)
+        except Exception as exc:
+            raise GThinkerError(
+                f"runtime='process' requires a picklable app_factory "
+                f"(a Comper class or functools.partial, not a lambda or "
+                f"closure): {exc!r}"
+            ) from exc
+
+        graph = request.graph
+        if isinstance(graph, ShardedGraphStore):
+            graph = graph.load_full_graph()
+        if not isinstance(graph, Graph):
+            raise TypeError(f"unsupported graph source {type(request.graph)!r}")
+
+        ctx = mp.get_context(
+            config.process_start_method or _default_start_method()
+        )
+        started = time.perf_counter()
+        csr = SharedCSR.from_graph(graph)
+        procs: List = []
+        conns: List = []
+        data_queues: List = []
+        try:
+            data_queues = [ctx.Queue() for _ in range(config.num_workers)]
+            for wid in range(config.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(wid, config, app_factory, csr.meta,
+                          data_queues, child_conn),
+                    name=f"gthinker-worker-{wid}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+
+            master = _ProcessMaster(
+                conns, procs, config,
+                aggregator_prototype=app_factory().make_aggregator(),
+                join_timeout_s=self.join_timeout_s,
+            )
+            finals = master.run()
+
+            merged = MetricsRegistry()
+            merged.merge_from(master.metrics)
+            outputs: List[Any] = []
+            for final in sorted(finals, key=lambda f: f.worker_id):
+                merged.merge_from(MetricsRegistry.from_snapshot(final.metrics))
+                outputs.extend(final.outputs)
+            for proc in procs:
+                proc.join(timeout=10.0)
+            return JobResult(
+                aggregate=master.global_aggregator.value,
+                outputs=outputs,
+                metrics=merged.snapshot(),
+                elapsed_s=time.perf_counter() - started,
+                num_workers=config.num_workers,
+                compers_per_worker=config.compers_per_worker,
+            )
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for q in data_queues:
+                try:
+                    q.cancel_join_thread()
+                    q.close()
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+            csr.close()
+            csr.unlink()

@@ -1,7 +1,7 @@
-"""Execution runtimes: deterministic serial and real-thread.
+"""Execution runtimes and the pluggable runtime registry.
 
-Both runtimes drive the same components (comm services, comper engines,
-GC, master); only the interleaving differs:
+Low-level cluster steppers (both drive the same components — comm
+services, comper engines, GC, master — only the interleaving differs):
 
 * :class:`SerialRuntime` — steps every component round-robin in one
   thread.  Deterministic; the default for tests and the substrate the
@@ -11,26 +11,66 @@ GC, master); only the interleaving differs:
   thread per worker, mirroring the paper's thread layout.  Exercises the
   real lock protocols (bucketed cache, concurrent containers).  The GIL
   serializes Python bytecode, so this runtime demonstrates correctness
-  under concurrency, not wall-clock speedup — the discrete-event runtime
-  in :mod:`repro.sim` covers performance shape (see DESIGN.md).
+  under concurrency, not wall-clock speedup — the process backend
+  (``runtime="process"``) and the discrete-event runtime in
+  :mod:`repro.sim` cover performance (see DESIGN.md).
 
 A :class:`Cluster` is the bag of components a runtime drives.
+
+Runtime registry
+----------------
+
+``run_job``/``resume_job`` resolve their ``runtime=`` string through the
+:data:`RUNTIMES` registry rather than an if/elif ladder.  Each entry is a
+:class:`RuntimeSpec`: a zero-argument ``factory`` producing an executor
+object with ``execute(request: JobRequest) -> JobResult``, plus a
+:class:`RuntimeCapabilities` declaration.  Unsupported runtime/feature
+combinations fail uniformly with
+:class:`~repro.core.errors.UnsupportedRuntimeFeature`; unknown names with
+:class:`~repro.core.errors.UnknownRuntimeError`.
+
+Register a custom runtime with::
+
+    from repro.core.runtime import RuntimeCapabilities, register_runtime
+
+    register_runtime("myrt", MyRuntimeExecutor,
+                     RuntimeCapabilities(resume=True))
+    run_job(app, graph, config, runtime="myrt")
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .config import GThinkerConfig
-from .errors import GThinkerError, JobAbortedError
+from .errors import (
+    GThinkerError,
+    JobAbortedError,
+    UnknownRuntimeError,
+    UnsupportedRuntimeFeature,
+)
 from .master import Master
 from .metrics import MetricsRegistry
 from .worker import Worker
 
-__all__ = ["Cluster", "SerialRuntime", "ThreadedRuntime"]
+__all__ = [
+    "Cluster",
+    "SerialRuntime",
+    "ThreadedRuntime",
+    "JobRequest",
+    "RuntimeCapabilities",
+    "RuntimeSpec",
+    "RUNTIMES",
+    "register_runtime",
+    "unregister_runtime",
+    "get_runtime",
+    "available_runtimes",
+    "capability_matrix",
+]
 
 
 @dataclass
@@ -40,6 +80,149 @@ class Cluster:
     transport: object
     metrics: MetricsRegistry
     config: GThinkerConfig
+    #: Root directory the workers spill task batches under.  When the
+    #: job created it (no ``config.spill_dir``), ``owns_spill_root`` is
+    #: True and teardown removes the whole tree.
+    spill_root: Optional[Path] = None
+    owns_spill_root: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Runtime registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuntimeCapabilities:
+    """What a runtime supports; requests outside this set are rejected.
+
+    Every boolean field doubles as a *feature name* accepted by
+    :meth:`RuntimeSpec.require`.
+    """
+
+    checkpointing: bool = False
+    failure_injection: bool = False
+    protocol_checking: bool = True
+    resume: bool = False
+
+    def feature_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(self))
+
+
+@dataclass
+class JobRequest:
+    """Everything an executor needs to run one job to completion."""
+
+    app_factory: Callable[[], Any]
+    graph: Any
+    config: GThinkerConfig
+    checkpoint_path: Optional[str] = None
+    abort_after_rounds: Optional[int] = None
+    #: A loaded :class:`~repro.core.checkpoint.JobCheckpoint` when
+    #: resuming, else None.
+    checkpoint: Any = None
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """One registry entry: name, executor factory, capabilities."""
+
+    name: str
+    factory: Callable[[], Any]
+    capabilities: RuntimeCapabilities = field(default_factory=RuntimeCapabilities)
+
+    def require(self, *features: str) -> None:
+        """Raise unless every named feature is in the capabilities."""
+        unknown = [f for f in features if not hasattr(self.capabilities, f)]
+        if unknown:
+            raise UnsupportedRuntimeFeature(
+                f"unknown runtime feature(s) {unknown!r}; known features: "
+                f"{list(self.capabilities.feature_names())}"
+            )
+        missing = [f for f in features if not getattr(self.capabilities, f)]
+        if missing:
+            raise UnsupportedRuntimeFeature(
+                f"runtime {self.name!r} does not support: {', '.join(missing)} "
+                f"(capabilities: {self.capabilities}); pick a runtime whose "
+                f"capabilities include the feature, or register one"
+            )
+
+
+#: The global registry.  The four built-ins (serial, threaded, checked,
+#: process) are registered by :mod:`repro.core.job` on import.
+RUNTIMES: Dict[str, RuntimeSpec] = {}
+
+
+def register_runtime(
+    name: str,
+    factory: Callable[[], Any],
+    capabilities: Optional[RuntimeCapabilities] = None,
+    replace: bool = False,
+) -> RuntimeSpec:
+    """Register an executor under ``name``.
+
+    ``factory`` takes no arguments and returns an object with
+    ``execute(request: JobRequest) -> JobResult``.  Pass ``replace=True``
+    to overwrite an existing entry (the built-ins use it so repeated
+    imports stay idempotent).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"runtime name must be a non-empty string, got {name!r}")
+    if name in RUNTIMES and not replace:
+        raise ValueError(
+            f"runtime {name!r} is already registered; pass replace=True to override"
+        )
+    spec = RuntimeSpec(
+        name=name,
+        factory=factory,
+        capabilities=capabilities or RuntimeCapabilities(),
+    )
+    RUNTIMES[name] = spec
+    return spec
+
+
+def unregister_runtime(name: str) -> None:
+    """Remove a registered runtime (mostly for tests)."""
+    RUNTIMES.pop(name, None)
+
+
+def _ensure_builtin_runtimes() -> None:
+    # The built-ins are registered as a side effect of importing the job
+    # module; a function-level import avoids the cycle (job imports this
+    # module at its top level).
+    if "serial" not in RUNTIMES:
+        from . import job  # noqa: F401
+
+
+def get_runtime(name: str) -> RuntimeSpec:
+    """Resolve a runtime name; raises :class:`UnknownRuntimeError`."""
+    _ensure_builtin_runtimes()
+    spec = RUNTIMES.get(name)
+    if spec is None:
+        raise UnknownRuntimeError(
+            f"unknown runtime {name!r}; registered runtimes: "
+            f"{sorted(RUNTIMES)} (register custom runtimes with "
+            f"repro.core.runtime.register_runtime)"
+        )
+    return spec
+
+
+def available_runtimes() -> Tuple[str, ...]:
+    """Sorted names of every registered runtime."""
+    _ensure_builtin_runtimes()
+    return tuple(sorted(RUNTIMES))
+
+
+def capability_matrix() -> Dict[str, Dict[str, bool]]:
+    """``{runtime: {feature: supported}}`` for docs and error messages."""
+    _ensure_builtin_runtimes()
+    return {
+        name: {
+            f: getattr(spec.capabilities, f)
+            for f in spec.capabilities.feature_names()
+        }
+        for name, spec in sorted(RUNTIMES.items())
+    }
 
 
 class SerialRuntime:

@@ -122,6 +122,10 @@ class Worker:
         self.memory = WorkerMemoryModel(metrics, worker_id)
 
         self._local: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        #: Shared-memory graph backing (process runtime): rows are
+        #: materialized lazily from here into ``_local`` on first touch.
+        self._shared = None
+        self._shared_owned = frozenset()
         self._spawn_order: List[int] = []
         self._spawn_next = 0
         self._spawn_lock = threading.Lock()
@@ -181,6 +185,28 @@ class Worker:
             sum(24 + 8 * len(adj) for (_l, adj) in self._local.values())
         )
 
+    def load_shared(self, csr) -> None:
+        """Attach a :class:`~repro.graph.csr.SharedCSR` as ``T_local``.
+
+        The process runtime's zero-copy load path: the adjacency arrays
+        stay in the parent's shared-memory segments; this worker only
+        records which vertex ids hash to it.  Rows are converted to the
+        ``(label, adj)`` tuple format (and trimmed) lazily on first
+        access, memoized in ``_local`` — so over a job the worker touches
+        at most its own partition, never the whole graph.
+        """
+        owned = [
+            int(v) for v in csr.vertex_ids.tolist()
+            if hash_partition(int(v), self.num_workers) == self.worker_id
+        ]
+        self._shared = csr
+        self._shared_owned = frozenset(owned)
+        self._spawn_order = owned  # vertex_ids are sorted ascending
+        degrees = csr.degree_array()
+        self.memory.set_local_table(int(sum(
+            24 + 8 * int(degrees[csr.position_of(v)]) for v in owned
+        )))
+
     # -- vertex access ----------------------------------------------------------
 
     def owner_of(self, v: int) -> int:
@@ -189,9 +215,20 @@ class Worker:
     def owns_vertex(self, v: int) -> bool:
         return self.owner_of(v) == self.worker_id
 
+    def _entry(self, v: int) -> Optional[Tuple[int, Tuple[int, ...]]]:
+        """``T_local`` row for ``v``, faulting from the shared CSR."""
+        entry = self._local.get(v)
+        if entry is None and v in self._shared_owned:
+            label, adj = self._shared.entry(v)
+            if self._trimmer is not None:
+                adj = tuple(self._trimmer.trim(v, label, adj))
+            entry = (label, adj)
+            self._local[v] = entry
+        return entry
+
     def local_view(self, v: int) -> Optional[VertexView]:
         """A view of a locally stored vertex, or None if not local."""
-        entry = self._local.get(v)
+        entry = self._entry(v)
         if entry is None:
             if self.owns_vertex(v):
                 raise KeyError(
@@ -204,17 +241,16 @@ class Worker:
 
     def local_entry(self, v: int) -> Tuple[int, Tuple[int, ...]]:
         """Serve a remote pull from ``T_local`` (raises on unknown ids)."""
-        try:
-            label, adj = self._local[v]
-        except KeyError:
+        entry = self._entry(v)
+        if entry is None:
             raise KeyError(
                 f"worker {self.worker_id} asked to serve vertex {v} it does not own"
-            ) from None
-        return label, adj
+            )
+        return entry
 
     @property
     def num_local_vertices(self) -> int:
-        return len(self._local)
+        return len(self._spawn_order)
 
     # -- task spawning --------------------------------------------------------------
 
@@ -230,7 +266,7 @@ class Worker:
                     break
                 v = self._spawn_order[self._spawn_next]
                 self._spawn_next += 1
-            label, adj = self._local[v]
+            label, adj = self._entry(v)
             engine.app.task_spawn(VertexView(v, label, adj))
             spawned_from += 1
             self.note_progress()
@@ -253,7 +289,7 @@ class Worker:
                     break
                 v = self._spawn_order[self._spawn_next]
                 self._spawn_next += 1
-            label, adj = self._local[v]
+            label, adj = self._entry(v)
             self._steal_app.task_spawn(VertexView(v, label, adj))
             self.note_progress()
         if exhausted:

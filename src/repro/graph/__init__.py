@@ -21,7 +21,7 @@ from .io import (
 from .partition import hash_partition, owner_map, partition_counts
 from .datasets import DATASETS, DatasetSpec, dataset_stats, make_dataset
 from .kcore import core_numbers, degeneracy, degeneracy_order, greedy_clique_seed
-from .csr import CSRGraph
+from .csr import CSRGraph, SharedCSR, SharedCSRMeta
 
 __all__ = [
     "Graph",
@@ -53,4 +53,6 @@ __all__ = [
     "degeneracy_order",
     "greedy_clique_seed",
     "CSRGraph",
+    "SharedCSR",
+    "SharedCSRMeta",
 ]

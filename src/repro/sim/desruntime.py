@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..core.config import GThinkerConfig
 from ..core.errors import GThinkerError
 from ..core.job import GraphSource, JobResult, build_cluster
+from ..core.metrics import MetricsAccessors
 from ..core.runtime import Cluster
 from .events import EventQueue
 
@@ -49,7 +50,7 @@ _GC_PERIOD = 1e-3
 
 
 @dataclass
-class SimJobResult:
+class SimJobResult(MetricsAccessors):
     """A finished simulated job."""
 
     aggregate: Any

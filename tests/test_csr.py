@@ -1,11 +1,13 @@
-"""Tests for the numpy CSR representation."""
+"""Tests for the numpy CSR representation and the shared-memory CSR."""
+
+import pickle
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algorithms import count_triangles
-from repro.graph import CSRGraph, Graph, erdos_renyi
+from repro.graph import CSRGraph, Graph, SharedCSR, erdos_renyi
 
 
 def test_roundtrip(er_graph):
@@ -66,3 +68,84 @@ def test_roundtrip_property(n, p, seed):
     csr = CSRGraph.from_graph(g)
     assert csr.to_graph() == g
     assert csr.count_triangles() == count_triangles(g)
+
+# -- SharedCSR (the process backend's zero-copy graph) ---------------------
+
+
+@pytest.fixture
+def shared_csr(er_graph):
+    csr = SharedCSR.from_graph(er_graph)
+    yield csr
+    csr.close()
+    csr.unlink()
+
+
+def test_shared_entries_match_graph(er_graph, shared_csr):
+    for v in er_graph.vertices():
+        label, adj = shared_csr.entry(v)
+        assert label == er_graph.label(v)
+        assert adj == tuple(er_graph.neighbors(v))
+        assert shared_csr.degree_of(v) == er_graph.degree(v)
+
+
+def test_shared_counts(er_graph, shared_csr):
+    assert shared_csr.num_vertices == er_graph.num_vertices
+    assert shared_csr.num_edges == er_graph.num_edges
+
+
+def test_shared_meta_is_picklable(shared_csr):
+    meta = pickle.loads(pickle.dumps(shared_csr.meta))
+    assert meta == shared_csr.meta
+
+
+def test_shared_attach_sees_same_arrays(er_graph, shared_csr):
+    attached = SharedCSR.attach(shared_csr.meta)
+    try:
+        assert not attached.owner
+        np.testing.assert_array_equal(attached.indices, shared_csr.indices)
+        np.testing.assert_array_equal(attached.vertex_ids,
+                                      shared_csr.vertex_ids)
+        v = int(shared_csr.vertex_ids[0])
+        assert attached.entry(v) == shared_csr.entry(v)
+    finally:
+        attached.close()
+
+
+def test_shared_arrays_are_readonly(shared_csr):
+    with pytest.raises(ValueError):
+        shared_csr.indices[0] = 99
+
+
+def test_shared_unknown_vertex_raises(shared_csr):
+    with pytest.raises(KeyError):
+        shared_csr.entry(10**9)
+
+
+def test_attacher_cannot_unlink(shared_csr):
+    attached = SharedCSR.attach(shared_csr.meta)
+    try:
+        with pytest.raises(ValueError):
+            attached.unlink()
+    finally:
+        attached.close()
+
+
+def test_shared_noncontiguous_ids():
+    g = Graph.from_edges([(10, 200), (200, 3000), (10, 3000)])
+    csr = SharedCSR.from_graph(g)
+    try:
+        assert csr.entry(200) == (0, (10, 3000))
+        assert csr.degree_of(3000) == 2
+    finally:
+        csr.close()
+        csr.unlink()
+
+
+def test_shared_empty_graph():
+    csr = SharedCSR.from_graph(Graph())
+    try:
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+    finally:
+        csr.close()
+        csr.unlink()

@@ -1,12 +1,24 @@
-"""Cross-runtime equivalence: serial, threaded and simulated runs of the
-same job must produce identical answers (and identical output *sets* —
-ordering is scheduling-dependent by design)."""
+"""Cross-runtime equivalence: serial, threaded, simulated and process
+runs of the same job must produce identical answers (and identical
+output *sets* — ordering is scheduling-dependent by design)."""
+
+import functools
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algorithms import count_triangles, max_clique_reference
-from repro.apps import MaxCliqueComper, QuasiCliqueComper, TriangleCountComper
+from repro.algorithms import (
+    count_matches,
+    count_triangles,
+    max_clique_reference,
+    triangle_query,
+)
+from repro.apps import (
+    MaxCliqueComper,
+    QuasiCliqueComper,
+    SubgraphMatchComper,
+    TriangleCountComper,
+)
 from repro.core import GThinkerConfig, run_job
 from repro.graph import erdos_renyi
 from repro.sim import run_simulated_job
@@ -82,6 +94,68 @@ def test_tc_correct_under_random_configs(n, p, seed, workers, compers, batch, ca
     )
     res = run_job(TriangleCountComper, g, config)
     assert res.aggregate == count_triangles(g)
+
+
+# -- process backend vs the serial oracle --------------------------------
+#
+# The factories below must be picklable (classes / functools.partial):
+# runtime="process" ships them to every worker process.
+
+
+def test_tc_process_equals_oracle(graph):
+    res = run_job(TriangleCountComper, graph, cfg(), runtime="process")
+    assert res.aggregate == count_triangles(graph)
+
+
+def test_mcf_process_equals_oracle(graph):
+    res = run_job(MaxCliqueComper, graph, cfg(), runtime="process")
+    assert len(res.aggregate) == len(max_clique_reference(graph))
+
+
+def test_gm_process_equals_oracle():
+    g = erdos_renyi(50, 0.15, seed=9)
+    q = triangle_query()
+    factory = functools.partial(SubgraphMatchComper, q)
+    res = run_job(factory, g, cfg(num_workers=2), runtime="process")
+    assert res.aggregate == count_matches(g, q)
+
+
+def test_process_output_sets_match_serial():
+    g = erdos_renyi(40, 0.2, seed=7)
+    factory = functools.partial(TriangleCountComper, list_triangles=True)
+    serial = run_job(factory, g, cfg(), runtime="serial")
+    process = run_job(factory, g, cfg(), runtime="process")
+    assert set(process.outputs) == set(serial.outputs)
+    assert len(process.outputs) == len(serial.outputs)
+
+
+def test_process_spill_forcing_config():
+    """Tiny batches + aggressive decomposition force the disk-spill path
+    (and usually steals) across process boundaries."""
+    g = erdos_renyi(60, 0.18, seed=5)
+    # batch size 1 → Q_task capacity 3: a single decomposition (~average
+    # degree children) overflows regardless of process scheduling.
+    config = cfg(num_workers=2, task_batch_size=1, decompose_threshold=4)
+    res = run_job(MaxCliqueComper, g, config, runtime="process")
+    assert len(res.aggregate) == len(max_clique_reference(g))
+    assert res.metrics.get("tasks:spilled", 0) > 0
+
+
+def test_process_aggregator_sync_heavy_config():
+    """A near-continuous sync cadence must not change the answer (the
+    pruning bound just propagates faster)."""
+    g = erdos_renyi(60, 0.15, seed=11)
+    config = cfg(aggregator_sync_period_s=0.0002)
+    res = run_job(MaxCliqueComper, g, config, runtime="process")
+    assert len(res.aggregate) == len(max_clique_reference(g))
+
+
+def test_process_merges_per_worker_metrics(graph):
+    res = run_job(TriangleCountComper, graph, cfg(num_workers=2),
+                  runtime="process")
+    for wid in range(2):
+        assert res.worker_metrics(wid).peak_memory_bytes > 0
+    assert res.metrics.get("ipc:batches", 0) > 0
 
 
 @settings(max_examples=6, deadline=None)

@@ -1,0 +1,195 @@
+"""The pluggable runtime registry: resolution, capabilities, uniform
+errors, custom registration, and spill-dir lifecycle."""
+
+import tempfile
+
+import pytest
+
+from repro.core import (
+    GThinkerConfig,
+    JobResult,
+    UnknownRuntimeError,
+    UnsupportedRuntimeFeature,
+    available_runtimes,
+    capability_matrix,
+    get_runtime,
+    register_runtime,
+    resume_job,
+    run_job,
+    unregister_runtime,
+)
+from repro.core.runtime import RuntimeCapabilities
+from repro.apps import TriangleCountComper
+from repro.algorithms import count_triangles
+from repro.graph import erdos_renyi
+
+
+def cfg(**kw):
+    base = dict(num_workers=2, compers_per_worker=2, task_batch_size=4,
+                cache_capacity=64, cache_buckets=16)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(50, 0.12, seed=21)
+
+
+# -- resolution -----------------------------------------------------------
+
+
+def test_all_builtin_runtimes_registered():
+    assert set(available_runtimes()) >= {"serial", "threaded", "checked",
+                                         "process"}
+
+
+def test_capability_matrix_shape():
+    matrix = capability_matrix()
+    features = {"checkpointing", "failure_injection", "protocol_checking",
+                "resume"}
+    for name in ("serial", "threaded", "checked", "process"):
+        assert set(matrix[name]) == features
+    assert matrix["serial"]["checkpointing"]
+    assert matrix["serial"]["failure_injection"]
+    assert not matrix["process"]["resume"]
+    assert not matrix["threaded"]["checkpointing"]
+
+
+def test_every_builtin_runs_through_registry(graph):
+    expected = count_triangles(graph)
+    for name in ("serial", "threaded", "checked", "process"):
+        result = run_job(TriangleCountComper, graph, cfg(), runtime=name)
+        assert isinstance(result, JobResult)
+        assert result.aggregate == expected, name
+
+
+# -- uniform errors -------------------------------------------------------
+
+
+def test_unknown_runtime_uniform_error(graph):
+    with pytest.raises(UnknownRuntimeError, match="nope"):
+        run_job(TriangleCountComper, graph, cfg(), runtime="nope")
+    with pytest.raises(UnknownRuntimeError):
+        resume_job(TriangleCountComper, graph, "/nonexistent.ckpt",
+                   runtime="nope")
+    # Back-compat: callers that caught ValueError still work.
+    assert issubclass(UnknownRuntimeError, ValueError)
+    assert issubclass(UnsupportedRuntimeFeature, ValueError)
+
+
+def test_error_message_lists_registered_runtimes(graph):
+    with pytest.raises(UnknownRuntimeError, match="serial"):
+        run_job(TriangleCountComper, graph, cfg(), runtime="typo")
+
+
+@pytest.mark.parametrize("runtime", ["threaded", "checked", "process"])
+def test_checkpointing_rejected_uniformly(graph, runtime):
+    with pytest.raises(UnsupportedRuntimeFeature, match="checkpointing"):
+        run_job(TriangleCountComper, graph,
+                cfg(checkpoint_every_syncs=1), runtime=runtime,
+                checkpoint_path="/tmp/unused.ckpt")
+
+
+@pytest.mark.parametrize("runtime", ["threaded", "checked", "process"])
+def test_failure_injection_rejected_uniformly(graph, runtime):
+    with pytest.raises(UnsupportedRuntimeFeature, match="failure_injection"):
+        run_job(TriangleCountComper, graph, cfg(), runtime=runtime,
+                abort_after_rounds=3)
+
+
+def test_resume_rejected_on_process(tmp_path, graph):
+    """resume_job shares run_job's dispatch: the process runtime lacks
+    the resume capability and must fail before any process spawns."""
+    ckpt = tmp_path / "job.ckpt"
+    with pytest.raises(Exception):
+        run_job(TriangleCountComper, graph,
+                cfg(checkpoint_every_syncs=1, sync_every_rounds=2),
+                runtime="serial", checkpoint_path=str(ckpt),
+                abort_after_rounds=4)
+    assert ckpt.exists()
+    with pytest.raises(UnsupportedRuntimeFeature, match="resume"):
+        resume_job(TriangleCountComper, graph, str(ckpt), cfg(),
+                   runtime="process")
+
+
+def test_resume_works_on_threaded_and_checked(tmp_path, graph):
+    ckpt = tmp_path / "job.ckpt"
+    with pytest.raises(Exception):
+        run_job(TriangleCountComper, graph,
+                cfg(checkpoint_every_syncs=1, sync_every_rounds=2),
+                runtime="serial", checkpoint_path=str(ckpt),
+                abort_after_rounds=4)
+    expected = count_triangles(graph)
+    for runtime in ("threaded", "checked"):
+        result = resume_job(TriangleCountComper, graph, str(ckpt), cfg(),
+                            runtime=runtime)
+        assert result.aggregate == expected, runtime
+
+
+# -- custom registration --------------------------------------------------
+
+
+class _RecordingExecutor:
+    """A toy runtime: delegates to serial, tags the result."""
+
+    calls = []
+
+    def execute(self, request):
+        self.calls.append(request.config.num_workers)
+        return get_runtime("serial").factory().execute(request)
+
+
+def test_custom_runtime_registration(graph):
+    register_runtime("recording", _RecordingExecutor,
+                     RuntimeCapabilities(resume=True))
+    try:
+        result = run_job(TriangleCountComper, graph, cfg(),
+                         runtime="recording")
+        assert result.aggregate == count_triangles(graph)
+        assert _RecordingExecutor.calls == [2]
+    finally:
+        unregister_runtime("recording")
+        _RecordingExecutor.calls.clear()
+    with pytest.raises(UnknownRuntimeError):
+        run_job(TriangleCountComper, graph, cfg(), runtime="recording")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_runtime("serial", _RecordingExecutor)
+
+
+# -- spill-dir lifecycle --------------------------------------------------
+
+
+def _spill_dirs(root):
+    return [p for p in root.iterdir() if p.name.startswith("gthinker-spill")]
+
+
+@pytest.fixture
+def private_tmpdir(tmp_path, monkeypatch):
+    """Point tempfile at an empty dir so leak checks see only our job."""
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+    yield tmp_path
+
+
+@pytest.mark.parametrize("runtime", ["serial", "threaded", "process"])
+def test_no_spill_dir_leak_on_success(private_tmpdir, graph, runtime):
+    run_job(TriangleCountComper, graph, cfg(), runtime=runtime)
+    assert _spill_dirs(private_tmpdir) == []
+
+
+def test_no_spill_dir_leak_on_failure(private_tmpdir, graph):
+    with pytest.raises(Exception):
+        run_job(TriangleCountComper, graph, cfg(), runtime="serial",
+                abort_after_rounds=2)
+    assert _spill_dirs(private_tmpdir) == []
+
+
+def test_explicit_spill_dir_is_preserved(tmp_path, graph):
+    spill = tmp_path / "my-spills"
+    spill.mkdir()
+    run_job(TriangleCountComper, graph, cfg(spill_dir=str(spill)),
+            runtime="serial")
+    assert spill.exists()  # caller-owned: never removed
