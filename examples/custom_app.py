@@ -17,7 +17,7 @@ Run:  python examples/custom_app.py
 
 from repro import Comper, GThinkerConfig, SumAggregator, Task, VertexView, run_job
 from repro.apps.common import GtTrimmer
-from repro.graph import erdos_renyi, intersect_sorted
+from repro.graph import erdos_renyi, kernels
 
 
 class EdgeSupportComper(Comper):
@@ -36,7 +36,7 @@ class EdgeSupportComper(Comper):
         return GtTrimmer()  # adjacency lists arrive as Γ_>
 
     def task_spawn(self, v: VertexView) -> None:
-        if not v.adj:
+        if not len(v.adj):  # v.adj is an ndarray on the hot path
             return
         task = Task(context=(v.id, v.adj))
         for u in v.adj:
@@ -52,9 +52,9 @@ class EdgeSupportComper(Comper):
             # tasks gives full support.  For the demo we use the upward
             # support only, which is exact for edges counted at their
             # smallest endpoint.
-            support = len(intersect_sorted(gt_u, view.adj))
+            support = kernels.intersect_count(gt_u, view.adj)
             if support >= self.k - 2:
-                self.output(((u, view.id), support))
+                self.output(((u, int(view.id)), support))
                 self.aggregate(1)
         return False
 

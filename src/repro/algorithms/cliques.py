@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..graph.graph import Graph, intersect_sorted
+import numpy as np
+
+from ..graph import kernels
+from ..graph.graph import Graph
 
 __all__ = [
     "max_clique",
@@ -39,23 +42,109 @@ def _as_adj(g) -> Dict[int, Tuple[int, ...]]:
     return {v: tuple(a) for v, a in g.items()}
 
 
+def _color_positions(order: np.ndarray, rows: Sequence[np.ndarray],
+                     color: np.ndarray) -> int:
+    """Greedy-color vertices (as dense positions) in the given order.
+
+    ``rows[i]`` lists the in-scope neighbor positions of vertex ``i``;
+    ``color`` is a scratch array pre-filled with -1 whose touched slots
+    are reset before returning.  Each vertex takes the smallest color
+    absent among its already-colored neighbors (vectorized mex).
+    """
+    max_color = 0
+    for i in order:
+        nbr_colors = color[rows[i]]
+        used = nbr_colors[nbr_colors >= 0]
+        if used.size == 0:
+            c = 0
+        else:
+            seen = np.zeros(used.size + 1, dtype=bool)
+            seen[used[used <= used.size]] = True
+            c = int(np.argmin(seen))
+        color[i] = c
+        if c + 1 > max_color:
+            max_color = c + 1
+    color[order] = -1
+    return max_color
+
+
 def greedy_coloring_bound(vertices: Sequence[int], adj: AdjMap) -> int:
     """A greedy-coloring upper bound on the clique number of the induced graph.
 
     Any clique needs one color per member, so the number of colors used
     by *any* proper coloring bounds the maximum clique size from above.
+    Vertices are colored in descending full-degree order; the per-vertex
+    "smallest free color" scan is vectorized over numpy arrays.
     """
-    color: Dict[int, int] = {}
-    vset = set(vertices)
-    max_color = 0
-    for v in sorted(vertices, key=lambda x: -len(adj.get(x, ()))):
-        used = {color[u] for u in adj.get(v, ()) if u in vset and u in color}
-        c = 0
-        while c in used:
-            c += 1
-        color[v] = c
-        max_color = max(max_color, c + 1)
-    return max_color
+    verts = list(vertices)
+    if not verts:
+        return 0
+    pos = {v: i for i, v in enumerate(verts)}
+    rows = [
+        np.fromiter((pos[u] for u in adj.get(v, ()) if u in pos),
+                    dtype=np.int64)
+        for v in verts
+    ]
+    full_degs = np.fromiter((len(adj.get(v, ())) for v in verts),
+                            dtype=np.int64, count=len(verts))
+    order = np.argsort(-full_degs, kind="stable")
+    color = np.full(len(verts), -1, dtype=np.int64)
+    return _color_positions(order, rows, color)
+
+
+#: Below this vertex count the branch-and-bound runs on python-int
+#: bitmasks instead of ndarray kernels: candidate sets fit in one or two
+#: machine words, where a single ``&`` beats any vectorized intersection
+#: call.  Decomposed G-thinker tasks (|V(t.g)| <= tau) live here.
+_BITSET_MAX = 128
+
+
+def _max_clique_bitset(rows: List[int], n: int, lower_bound: int) -> List[int]:
+    """Branch-and-bound over bitmask candidate sets (positions 0..n-1).
+
+    Mirrors the ndarray search below: candidates are consumed highest
+    position first so the remaining mask is exactly ``candidates[:i]``,
+    with the same popcount and greedy-coloring bounds.
+    """
+    best: List[int] = []
+    best_size = max(lower_bound, 0)
+
+    def bound(cand: int) -> int:
+        # Greedy coloring: peel one independent set (color class) per
+        # round; the number of rounds bounds the clique size.
+        ncol = 0
+        while cand:
+            ncol += 1
+            q = cand
+            while q:
+                b = q & -q
+                q &= ~rows[b.bit_length() - 1]
+                q ^= b
+                cand ^= b
+        return ncol
+
+    def expand(members: List[int], cand: int) -> None:
+        nonlocal best, best_size
+        if not cand:
+            if len(members) > best_size:
+                best_size = len(members)
+                best = members.copy()
+            return
+        if len(members) + cand.bit_count() <= best_size:
+            return
+        if len(members) + bound(cand) <= best_size:
+            return
+        while cand:
+            if len(members) + cand.bit_count() <= best_size:
+                break
+            p = cand.bit_length() - 1
+            cand ^= 1 << p
+            members.append(p)
+            expand(members, cand & rows[p])
+            members.pop()
+
+    expand([], (1 << n) - 1)
+    return best
 
 
 def max_clique(
@@ -94,36 +183,67 @@ def max_clique(
     # Order candidates by degeneracy-ish heuristic: ascending degree for
     # the outer loop gives small candidate sets early (cheap) and leaves
     # the dense core for last, when the incumbent already prunes hard.
+    # Vertices are then remapped to dense positions in that order so the
+    # whole search runs on sorted int64 position arrays and the candidate
+    # narrowing is a vectorized kernel intersection.
     order = sorted(adj, key=lambda v: len(adj[v]))
-    position = {v: i for i, v in enumerate(order)}
+    n = len(order)
+    pos = {v: i for i, v in enumerate(order)}
 
-    def expand(clique: List[int], candidates: List[int]) -> None:
+    if n <= _BITSET_MAX:
+        masks = [0] * n
+        for i, v in enumerate(order):
+            m = 0
+            for u in adj[v]:
+                j = pos.get(u)
+                if j is not None:
+                    m |= 1 << j
+            masks[i] = m
+        best = _max_clique_bitset(masks, n, best_size)
+        if len(best) > max(lower_bound, 0) or (lower_bound <= 0 and best):
+            return tuple(sorted(int(order[p]) for p in best))
+        return ()
+
+    rows: List[np.ndarray] = [
+        np.sort(np.fromiter((pos[u] for u in adj[v] if u in pos),
+                            dtype=np.int64))
+        for v in order
+    ]
+    full_degs = np.fromiter((len(adj[v]) for v in order), dtype=np.int64,
+                            count=n)
+    color_scratch = np.full(n, -1, dtype=np.int64)
+
+    def bound(candidates: np.ndarray) -> int:
+        # Greedy-coloring upper bound on the candidates' induced graph,
+        # reusing the shared scratch array (reset inside).
+        corder = candidates[np.argsort(-full_degs[candidates],
+                                       kind="stable")]
+        return _color_positions(corder, rows, color_scratch)
+
+    def expand(clique: List[int], candidates: np.ndarray) -> None:
         nonlocal best, best_size
-        if not candidates:
+        if candidates.size == 0:
             if len(clique) > best_size:
                 best_size = len(clique)
                 best = list(clique)
             return
-        if len(clique) + len(candidates) <= best_size:
+        if len(clique) + candidates.size <= best_size:
             return
-        if len(clique) + greedy_coloring_bound(candidates, adj) <= best_size:
+        if len(clique) + bound(candidates) <= best_size:
             return
         # Iterate candidates in reverse outer order so the candidate set
         # shrinks monotonically (set-enumeration style, Fig. 1).
-        for i in range(len(candidates) - 1, -1, -1):
+        for i in range(candidates.size - 1, -1, -1):
             if len(clique) + i + 1 <= best_size:
                 break
-            v = candidates[i]
-            clique.append(v)
-            nbrs = set(adj[v])
-            nxt = [u for u in candidates[:i] if u in nbrs]
-            expand(clique, nxt)
+            p = int(candidates[i])
+            clique.append(p)
+            expand(clique, kernels.intersect(candidates[:i], rows[p]))
             clique.pop()
 
-    ordered = sorted(adj, key=lambda v: position[v])
-    expand([], ordered)
+    expand([], np.arange(n, dtype=np.int64))
     if best_size > max(lower_bound, 0) or (lower_bound <= 0 and best):
-        return tuple(sorted(best))
+        return tuple(sorted(int(order[p]) for p in best))
     return ()
 
 

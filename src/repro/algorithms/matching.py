@@ -24,6 +24,7 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..graph import kernels
 from ..graph.graph import Graph
 
 __all__ = [
@@ -190,13 +191,14 @@ def match_subgraph(
         q = order[depth]
         matched_nbrs = [u for u in query.graph.neighbors(q) if u in assignment]
         if matched_nbrs:
-            # Candidates must be adjacent to every already-matched query
-            # neighbor; seed from the smallest adjacency for speed.
-            seed = min(
-                (data.neighbors(assignment[u]) for u in matched_nbrs), key=len
+            # Candidates must be adjacent to *every* already-matched
+            # query neighbor: fold the adjacency arrays in one
+            # vectorized pass (smallest-first with early exit) instead
+            # of scanning the smallest list and re-checking edges.
+            common = kernels.intersect_many(
+                data.neighbors_array(assignment[u]) for u in matched_nbrs
             )
-            for d in seed:
-                yield d
+            yield from common.tolist()
         else:
             yield from data.vertices()
 

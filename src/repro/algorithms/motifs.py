@@ -21,7 +21,8 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, Iterator, Tuple
 
-from ..graph.graph import Graph, intersect_sorted
+from ..graph import kernels
+from ..graph.graph import Graph
 from .triangles import count_triangles, list_triangles
 
 __all__ = [
@@ -60,9 +61,9 @@ def count_squares(g: Graph) -> int:
     total = 0
     vertices = g.sorted_vertices()
     for i, u in enumerate(vertices):
-        nu = g.neighbors(u)
+        nu = g.neighbors_array(u)
         for w in vertices[i + 1:]:
-            c = len(intersect_sorted(nu, g.neighbors(w)))
+            c = kernels.intersect_count(nu, g.neighbors_array(w))
             total += c * (c - 1) // 2
     return total // 2
 
@@ -73,10 +74,10 @@ def count_four_cliques(g: Graph) -> int:
     members exactly once."""
     total = 0
     for (u, v, w) in list_triangles(g):
-        common = intersect_sorted(
-            intersect_sorted(g.neighbors(u), g.neighbors(v)), g.neighbors(w)
+        common = kernels.intersect_many(
+            (g.neighbors_array(u), g.neighbors_array(v), g.neighbors_array(w))
         )
-        total += sum(1 for x in common if x > w)
+        total += int((common > w).sum())
     return total
 
 
@@ -91,8 +92,8 @@ def count_diamonds(g: Graph) -> int:
     """
     total = 0
     for (u, v) in g.edges():
-        common = intersect_sorted(g.neighbors(u), g.neighbors(v))
-        for a, b in combinations(common, 2):
+        common = kernels.intersect(g.neighbors_array(u), g.neighbors_array(v))
+        for a, b in combinations(common.tolist(), 2):
             if not g.has_edge(a, b):
                 total += 1
     return total

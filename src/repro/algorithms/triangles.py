@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
-from ..graph.graph import Graph, adjacency_suffix_gt, intersect_sorted, intersect_sorted_count
+import numpy as np
+
+from ..graph import kernels
+from ..graph.graph import Graph
 
 __all__ = [
     "count_triangles",
@@ -22,10 +25,14 @@ __all__ = [
 ]
 
 
-def _gt_adjacency(g) -> Dict[int, Tuple[int, ...]]:
+def _gt_adjacency(g) -> Dict[int, np.ndarray]:
+    """``Γ_>`` rows as sorted int64 ndarrays (views where possible)."""
     if isinstance(g, Graph):
-        return {v: g.neighbors_gt(v) for v in g.vertices()}
-    return {v: adjacency_suffix_gt(tuple(a), v) for v, a in g.items()}
+        return {v: g.neighbors_gt_array(v) for v in g.vertices()}
+    return {
+        v: kernels.suffix_gt(kernels.as_ids_array(tuple(a)), v)
+        for v, a in g.items()
+    }
 
 
 def count_triangles_from_gt(gt_adj: Mapping[int, Sequence[int]]) -> int:
@@ -33,13 +40,16 @@ def count_triangles_from_gt(gt_adj: Mapping[int, Sequence[int]]) -> int:
 
     This is exactly the per-task work a G-thinker TC task performs after
     the Trimmer has reduced every adjacency list to its larger-id suffix.
+    ``gt_adj`` rows may be tuples or ndarrays; counting runs on the
+    vectorized kernels either way.
     """
+    rows = {v: kernels.as_ids_array(a) for v, a in gt_adj.items()}
     total = 0
-    for u, nbrs in gt_adj.items():
+    for u, nbrs in rows.items():
         for v in nbrs:
-            other = gt_adj.get(v)
-            if other:
-                total += intersect_sorted_count(nbrs, other)
+            other = rows.get(int(v))
+            if other is not None and other.size:
+                total += kernels.intersect_count(nbrs, other)
     return total
 
 
@@ -53,11 +63,11 @@ def list_triangles(g) -> Iterator[Tuple[int, int, int]]:
     gt = _gt_adjacency(g)
     for u in sorted(gt):
         nbrs = gt[u]
-        for v in nbrs:
+        for v in nbrs.tolist():
             other = gt.get(v)
-            if not other:
+            if other is None or not other.size:
                 continue
-            for w in intersect_sorted(nbrs, other):
+            for w in kernels.intersect(nbrs, other).tolist():
                 yield (u, v, w)
 
 

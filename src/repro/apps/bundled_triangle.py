@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.api import Comper, SumAggregator, Task, VertexView
-from ..graph.graph import intersect_sorted_count
+from ..graph import kernels
 from .common import GtTrimmer
 
 __all__ = ["BundledTriangleCountComper"]
@@ -77,10 +77,10 @@ class BundledTriangleCountComper(Comper):
     # -- computing ------------------------------------------------------------
 
     def compute(self, task: Task, frontier: Sequence[VertexView]) -> bool:
-        adj_of: Dict[int, Tuple[int, ...]] = {view.id: view.adj for view in frontier}
+        adj_of: Dict[int, Sequence[int]] = {view.id: view.adj for view in frontier}
         count = 0
         for v, gt_v in task.context:
             for u in gt_v:
-                count += intersect_sorted_count(gt_v, adj_of[u])
+                count += kernels.intersect_count(gt_v, adj_of[int(u)])
         self.aggregate(count)
         return False

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Set, Tuple
+from typing import Iterable, Sequence, Set
+
+import numpy as np
 
 from ..core.api import Trimmer
+from ..graph import kernels
 from ..graph.graph import adjacency_suffix_gt
 
 __all__ = ["GtTrimmer", "LabelTrimmer"]
@@ -16,9 +19,14 @@ class GtTrimmer(Trimmer):
     The paper's set-enumeration trimming: "when following a search tree
     as in Fig. 1, we can trim each vertex v's adjacency list Γ(v) into
     Γ_>(v)".  Applied at load time it also halves response sizes.
+
+    For ndarray adjacency (the hot path) the trim is a *slice view* —
+    trimming a ``SharedCSR`` row stays zero-copy.
     """
 
-    def trim(self, v: int, label: int, adj: Tuple[int, ...]) -> Tuple[int, ...]:
+    def trim(self, v: int, label: int, adj: Sequence[int]) -> Sequence[int]:
+        if isinstance(adj, np.ndarray):
+            return kernels.suffix_gt(adj, v)
         return adjacency_suffix_gt(adj, v)
 
 
@@ -35,7 +43,17 @@ class LabelTrimmer(Trimmer):
         self._allowed: Set[int] = set(allowed_labels)
         self._label_of = label_of
 
-    def trim(self, v: int, label: int, adj: Tuple[int, ...]) -> Tuple[int, ...]:
+    def trim(self, v: int, label: int, adj: Sequence[int]) -> Sequence[int]:
+        if isinstance(adj, np.ndarray):
+            if label not in self._allowed:
+                return adj[:0]
+            # label_of is an arbitrary python callable, so this filter
+            # can't vectorize; it runs once per vertex at load time.
+            keep = np.fromiter(
+                (self._label_of(int(u)) in self._allowed for u in adj),
+                dtype=bool, count=adj.size,
+            )
+            return adj[keep]
         if label not in self._allowed:
             return ()
         return tuple(u for u in adj if self._label_of(u) in self._allowed)

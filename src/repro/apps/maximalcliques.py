@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..core.api import Comper, SumAggregator, Task, VertexView
 
 __all__ = ["MaximalCliqueComper", "maximal_cliques_containing_min"]
@@ -85,7 +87,10 @@ class MaximalCliqueComper(Comper):
             v: set(task.g.neighbors(v))
         }
         for view in frontier:
-            adjacency[view.id] = {u for u in view.adj if u in hood}
+            # .tolist() boxes np.int64 back to python ints so emitted
+            # cliques stay plain-int tuples.
+            row = view.adj.tolist() if isinstance(view.adj, np.ndarray) else view.adj
+            adjacency[view.id] = {u for u in row if u in hood}
         count = 0
         for clique in maximal_cliques_containing_min(adjacency, v):
             if len(clique) >= self.min_size:

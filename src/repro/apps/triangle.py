@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..core.api import Comper, SumAggregator, Task, VertexView
-from ..graph.graph import intersect_sorted, intersect_sorted_count
+from ..graph import kernels
 from .common import GtTrimmer
 
 __all__ = ["TriangleCountComper"]
@@ -52,10 +52,10 @@ class TriangleCountComper(Comper):
         for view in frontier:
             # view.adj is Γ_>(view.id) thanks to the trimmer.
             if self._list:
-                for w in intersect_sorted(gt_u, view.adj):
-                    self.output((u, view.id, w))
+                for w in kernels.intersect(gt_u, view.adj).tolist():
+                    self.output((u, int(view.id), w))
                     count += 1
             else:
-                count += intersect_sorted_count(gt_u, view.adj)
+                count += kernels.intersect_count(gt_u, view.adj)
         self.aggregate(count)
         return False

@@ -28,9 +28,12 @@ import pickle
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..algorithms.cliques import max_clique
 from ..algorithms.matching import QueryGraph, match_subgraph
-from ..graph.graph import Graph, intersect_sorted_count
+from ..graph import kernels
+from ..graph.graph import Graph
 from ..graph.partition import hash_partition
 from .base import BaselineResult, CostModel
 
@@ -50,14 +53,20 @@ def lsh_signature(pulled: Sequence[int], bands: int = 4) -> Tuple[int, ...]:
     """A min-hash-flavored signature of a task's requested vertex set.
 
     Tasks with overlapping pulls get nearby signatures, so sorting by
-    signature clusters them — G-Miner's data-reuse ordering.
+    signature clusters them — G-Miner's data-reuse ordering.  The hash
+    is evaluated vectorized over the whole id array per band (uint64
+    multiplies wrap mod 2^64, matching the python-int `& mask` version).
     """
-    if not pulled:
+    arr = kernels.as_ids_array(pulled)
+    if arr.size == 0:
         return (0,) * bands
+    unsigned = arr.astype(np.uint64)
     sig = []
     for b in range(bands):
-        mult = 0x9E3779B97F4A7C15 + b * 0xBF58476D1CE4E5B9
-        sig.append(min(((v * mult) & 0xFFFFFFFFFFFFFFFF) >> 40 for v in pulled))
+        mult = np.uint64(
+            (0x9E3779B97F4A7C15 + b * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        )
+        sig.append(int(((unsigned * mult) >> np.uint64(40)).min()))
     return tuple(sig)
 
 
@@ -105,7 +114,7 @@ def gminer_triangle_count(
 ) -> BaselineResult:
     """TC on the G-Miner engine: one task per vertex, generated up front."""
     cost = CostModel(machines=machines, threads=threads, **cost_kwargs)
-    gt = {v: graph.neighbors_gt(v) for v in graph.vertices()}
+    gt = {v: graph.neighbors_gt_array(v) for v in graph.vertices()}
     total = 0
     longest_task_s = 0.0
     busiest_machine_s = 0.0
@@ -127,7 +136,7 @@ def gminer_triangle_count(
             t0 = time.perf_counter()
             count = 0
             for u in mine:
-                count += intersect_sorted_count(mine, gt[u])
+                count += kernels.intersect_count(mine, gt[int(u)])
                 cost.charge_serial_cpu(_CACHE_PROBE_S)  # RCV-cache probe
             total += count
             dt = time.perf_counter() - t0
@@ -163,7 +172,7 @@ def gminer_max_clique(
     than G-thinker's.
     """
     cost = CostModel(machines=machines, threads=threads, **cost_kwargs)
-    gt = {v: graph.neighbors_gt(v) for v in graph.vertices()}
+    gt = {v: graph.neighbors_gt_array(v) for v in graph.vertices()}
     adj = {v: graph.neighbors(v) for v in graph.vertices()}
     best: Tuple[int, ...] = ()
     longest_task_s = 0.0
@@ -171,7 +180,7 @@ def gminer_max_clique(
     for m, vertices in per_machine.items():
         queue = _DiskQueue(cost)
         for v in vertices:
-            if gt[v]:
+            if gt[v].size:
                 queue.insert(lsh_signature(gt[v]), v)
         reinserted_bytes = 2 * queue.bytes_written
         cost.charge_disk(
@@ -181,7 +190,7 @@ def gminer_max_clique(
         machine_s = 0.0
         for v in queue.pop_all_in_order():
             t0 = time.perf_counter()
-            cands = set(gt[v])
+            cands = set(gt[v].tolist())
             cost.charge_serial_cpu(_CACHE_PROBE_S * max(1, len(cands)))
             if 1 + len(cands) > len(machine_best):
                 sub = {

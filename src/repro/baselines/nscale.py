@@ -21,7 +21,8 @@ import time
 from typing import Dict, List, Set, Tuple
 
 from ..algorithms.cliques import max_clique
-from ..graph.graph import Graph, intersect_sorted_count
+from ..graph import kernels
+from ..graph.graph import Graph
 from .base import BaselineResult, CostModel
 
 __all__ = ["nscale_triangle_count", "nscale_max_clique"]
@@ -91,9 +92,9 @@ def nscale_triangle_count(
     if not failed:
         t0 = time.perf_counter()
         for v, sub in subs.items():
-            gt_v = graph.neighbors_gt(v)
+            gt_v = graph.neighbors_gt_array(v)
             for u in gt_v:
-                total += intersect_sorted_count(gt_v, sub.get(u, ()))
+                total += kernels.intersect_count(gt_v, sub.get(int(u), ()))
         phases["mine_cpu_s"] = time.perf_counter() - t0
         cost.charge_parallel_cpu(phases["mine_cpu_s"])
     detail = cost.detail()

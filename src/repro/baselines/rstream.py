@@ -23,7 +23,8 @@ import tempfile
 import time
 from typing import Dict, Optional, Tuple
 
-from ..graph.graph import Graph, intersect_sorted_count
+from ..graph import kernels
+from ..graph.graph import Graph
 from .base import BaselineResult, CostModel
 
 __all__ = ["rstream_triangle_count", "rstream_disk_demand"]
@@ -80,7 +81,7 @@ def rstream_triangle_count(
                 failed="used up all disk space",
                 detail={"disk_demand_bytes": float(demand)},
             )
-    gt: Dict[int, Tuple[int, ...]] = {v: graph.neighbors_gt(v) for v in graph.vertices()}
+    gt = {v: graph.neighbors_gt_array(v) for v in graph.vertices()}
     fd, path = tempfile.mkstemp(prefix="rstream-edges-", suffix=".tbl")
     os.close(fd)
     try:
@@ -107,8 +108,8 @@ def rstream_triangle_count(
                         # join: wedge (u -> v) closed by Γ_>(v) ∩ Γ_>(u),
                         # counted when v's index partition is resident.
                         row = index.get(v)
-                        if row:
-                            total += intersect_sorted_count(gt[u], row)
+                        if row is not None and row.size:
+                            total += kernels.intersect_count(gt[u], row)
             cost.charge_parallel_cpu(time.perf_counter() - t0)
             cost.charge_disk(scanned, ios=1)
         cost.observe_memory(peak_partition_bytes + (8 << 20))

@@ -20,7 +20,8 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..algorithms.cliques import max_clique
-from ..graph.graph import Graph, intersect_sorted_count
+from ..graph import kernels
+from ..graph.graph import Graph
 from ..graph.partition import hash_partition
 from .base import BaselineResult, CostModel
 
@@ -121,20 +122,20 @@ def giraph_triangle_count(
     """TC the vertex-centric way [5]: each vertex ships ``Γ_>(v)`` to every
     larger neighbor, which intersects it with its own ``Γ_>``."""
     cost = CostModel(machines=machines, threads=threads, **cost_kwargs)
-    gt = {v: graph.neighbors_gt(v) for v in graph.vertices()}
+    gt = {v: graph.neighbors_gt_array(v) for v in graph.vertices()}
     engine = PregelEngine(graph, cost, combine=lambda a, b: a + b)
 
     def program(v, adj, messages, ctx):
         if ctx.superstep == 0:
             mine = gt[v]
             if len(mine) >= 2:
-                for u in mine:
+                for u in mine.tolist():
                     ctx.send(u, mine, size_bytes=8 * len(mine))
         else:
             total = 0
             mine = gt[v]
             for payload in messages:
-                total += intersect_sorted_count(mine, payload)
+                total += kernels.intersect_count(mine, payload)
             if total:
                 ctx.aggregate(total)
 

@@ -74,6 +74,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     run.add_argument("--tau", type=int, default=None,
                      help="decomposition threshold (MCF)")
     run.add_argument("--output", help="write result records to this file")
+    run.add_argument("--profile", action="store_true",
+                     help="run under cProfile and print the top 20 "
+                          "functions by cumulative time")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,13 +217,27 @@ def main(argv=None) -> int:
     config = _make_config(args)
     factory = _app_factory(args)
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.simulate:
         result = run_simulated_job(factory, graph, config)
+    else:
+        result = run_job(factory, graph, config, runtime=args.runtime)
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+    if args.simulate:
         print(f"virtual time : {result.virtual_time_s:.4f} s "
               f"({config.num_workers} machines x {config.compers_per_worker} compers)")
         print(f"peak memory  : {result.peak_memory_bytes / (1 << 20):.2f} MB/machine")
     else:
-        result = run_job(factory, graph, config, runtime=args.runtime)
         print(f"wall time    : {result.elapsed_s:.4f} s")
 
     if args.command == "mcf":

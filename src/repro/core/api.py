@@ -30,17 +30,22 @@ A = TypeVar("A")
 class VertexView(NamedTuple):
     """A read-only view of a vertex: id, label, and adjacency list.
 
-    Elements of ``frontier`` in :meth:`Comper.compute`.  The adjacency
-    tuple points into the local vertex table or the remote vertex cache;
-    it must be *copied into the task's subgraph* if needed beyond the
-    current iteration — the cache may evict it afterwards (the paper's
-    contract: "the vertices in frontier are released by G-thinker right
-    after compute() returns").
+    Elements of ``frontier`` in :meth:`Comper.compute`.  ``adj`` is a
+    sorted read-only ``numpy.ndarray`` of int64 neighbor ids — a
+    zero-copy view into the local vertex table / ``SharedCSR`` partition
+    for local vertices, an owned array for cached remote ones.  (Plain
+    tuples are still accepted when views are constructed by hand, e.g.
+    in tests.)  UDFs must treat it as immutable and *copy what they need
+    into the task's subgraph* if needed beyond the current iteration —
+    the cache may evict the entry afterwards (the paper's contract: "the
+    vertices in frontier are released by G-thinker right after compute()
+    returns").  Because a live ndarray view keeps its backing buffer
+    referenced, eviction never invalidates an array a task still holds.
     """
 
     id: int
     label: int
-    adj: Tuple[int, ...]
+    adj: Sequence[int]  # numpy.ndarray[int64] on the hot path
 
 
 class Task:
@@ -48,7 +53,9 @@ class Task:
 
     ``pull(v)`` requests the adjacency list of ``v`` for the *next*
     iteration (the paper's task-based vertex pulling).  Pulls are
-    deduplicated per iteration.
+    deduplicated per iteration.  The pulled adjacency arrives in the
+    next iteration's ``frontier`` as a :class:`VertexView` whose ``adj``
+    is an int64 ndarray (see the VertexView immutability contract).
     """
 
     __slots__ = ("g", "context", "_pulls", "_pull_set", "task_id", "pulls_in_flight")
@@ -65,6 +72,7 @@ class Task:
 
     def pull(self, v: int) -> None:
         """Request ``Gamma(v)`` to be available in the next iteration."""
+        v = int(v)  # normalize np.int64 ids iterated out of ndarray adjacency
         if v not in self._pull_set:
             self._pull_set.add(v)
             self._pulls.append(v)
@@ -141,9 +149,14 @@ class Trimmer:
     matching drops neighbors whose labels do not occur in the query.
     Trimming also shrinks what gets *responded to remote pulls*, which is
     the paper's stated motivation (reduce communication).
+
+    ``adj`` may be a tuple or a sorted int64 ndarray (possibly a
+    zero-copy ``SharedCSR`` view); implementations should return the
+    same kind they were given — returning an ndarray *slice* keeps the
+    trim zero-copy.
     """
 
-    def trim(self, v: int, label: int, adj: Tuple[int, ...]) -> Tuple[int, ...]:
+    def trim(self, v: int, label: int, adj: Sequence[int]) -> Sequence[int]:
         return adj
 
 

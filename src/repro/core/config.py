@@ -116,6 +116,13 @@ class GThinkerConfig:
         per destination before forcing a queue put (the IPC analogue of
         the paper's batched sending; buffers also drain every comm-service
         step).
+    ipc_wire_format:
+        ``runtime="process"`` only: how IPC batches are encoded.
+        ``"binary"`` (default) uses the :mod:`repro.net.wire` frame
+        format — adjacency lists cross the process boundary as raw
+        ``int64`` buffers and are decoded as zero-copy ``np.frombuffer``
+        views; ``"pickle"`` keeps the one-pickle-per-batch encoding
+        (useful for A/B-measuring payload sizes).
     checkpoint_dir / spill_dir:
         Filesystem locations (spill_dir defaults to a temp dir per job).
     seed:
@@ -143,6 +150,7 @@ class GThinkerConfig:
     check_protocols: bool = False
     process_start_method: Optional[str] = None
     ipc_batch_max_messages: int = 64
+    ipc_wire_format: str = "binary"
     seed: int = 0
 
     network: NetworkModel = field(default_factory=NetworkModel)
@@ -168,6 +176,11 @@ class GThinkerConfig:
             raise ValueError("inline_iteration_limit must be >= 1")
         if self.ipc_batch_max_messages < 1:
             raise ValueError("ipc_batch_max_messages must be >= 1")
+        if self.ipc_wire_format not in ("binary", "pickle"):
+            raise ValueError(
+                f"ipc_wire_format must be 'binary' or 'pickle', "
+                f"got {self.ipc_wire_format!r}"
+            )
         if self.process_start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(
                 f"unknown process_start_method {self.process_start_method!r}"

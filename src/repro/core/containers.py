@@ -30,6 +30,8 @@ from collections import deque
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .api import Task
 from .metrics import MetricsRegistry
 
@@ -61,8 +63,58 @@ def comper_of_task_id(task_id: int) -> int:
     return task_id >> _SEQ_BITS
 
 
+_TASK_MAGIC = b"GTTASK1\x00"
+
+_CTX_NONE = 0
+_CTX_INT = 1
+_CTX_INT_TUPLE = 2
+_CTX_PICKLE = 3
+
+_PAD = b"\x00" * 7
+
+
+def _ints(*values: int) -> bytes:
+    return np.array(values, dtype="<i8").tobytes()
+
+
+def _padded(raw: bytes) -> bytes:
+    rem = len(raw) % 8
+    return raw if rem == 0 else raw + _PAD[: 8 - rem]
+
+
+def _encode_task(task: Task, chunks: List[bytes]) -> None:
+    pulls = task.pending_pulls()
+    chunks.append(_ints(len(pulls)))
+    chunks.append(np.asarray(pulls, dtype="<i8").tobytes())
+    adj = task.g.adjacency()
+    vids = sorted(adj)
+    n = len(vids)
+    degrees = np.fromiter((len(adj[v]) for v in vids), dtype="<i8", count=n)
+    chunks.append(_ints(n))
+    chunks.append(np.asarray(vids, dtype="<i8").tobytes())
+    chunks.append(
+        np.fromiter((task.g.label(v) for v in vids), dtype="<i8",
+                    count=n).tobytes()
+    )
+    chunks.append(degrees.tobytes())
+    for v in vids:
+        chunks.append(np.asarray(adj[v], dtype="<i8").tobytes())
+    ctx = task.context
+    if ctx is None:
+        chunks.append(_ints(_CTX_NONE))
+    elif type(ctx) is int:
+        chunks.append(_ints(_CTX_INT, ctx))
+    elif type(ctx) is tuple and all(type(x) is int for x in ctx):
+        chunks.append(_ints(_CTX_INT_TUPLE, len(ctx)))
+        chunks.append(np.asarray(ctx, dtype="<i8").tobytes())
+    else:
+        raw = pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+        chunks.append(_ints(_CTX_PICKLE, len(raw)))
+        chunks.append(_padded(raw))
+
+
 def serialize_tasks(tasks: Sequence[Task]) -> bytes:
-    """Pickle a task batch for spilling or stealing.
+    """Encode a task batch for spilling or stealing.
 
     Task ids are invalidated first: an id encodes the comper that minted
     it, and a serialized batch may be refilled by *any* comper of this
@@ -71,15 +123,84 @@ def serialize_tasks(tasks: Sequence[Task]) -> bytes:
     insert the task into the new owner's ``T_task`` while the response
     receiver routes the arrival by ``comper_of_task_id`` to the original
     engine.  Every park on a new owner must mint a fresh local id.
+
+    The encoding is the flat int64 frame format (``GTTASK1`` magic): a
+    task's pending pulls and its subgraph rows are packed as raw arrays,
+    and the context as ``None`` / int / int-tuple frames with pickle for
+    anything richer.  Tasks that cannot be represented — e.g. ones with
+    in-flight pulls, which only an engine-internal park can produce —
+    fall back to pickling the whole batch; :func:`deserialize_tasks`
+    sniffs the magic to tell the two apart.
     """
     tasks = list(tasks)
     for t in tasks:
         t.task_id = -1
-    return pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        if any(t.pulls_in_flight for t in tasks):
+            raise ValueError("task with in-flight pulls")
+        chunks: List[bytes] = [_TASK_MAGIC, _ints(len(tasks))]
+        for t in tasks:
+            _encode_task(t, chunks)
+        return b"".join(chunks)
+    except Exception:
+        return pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class _TaskCursor:
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes, pos: int) -> None:
+        self.buf = buf
+        self.pos = pos
+
+    def read_ints(self, count: int) -> np.ndarray:
+        out = np.frombuffer(self.buf, dtype="<i8", count=count, offset=self.pos)
+        self.pos += 8 * count
+        return out
+
+    def read_bytes(self, length: int) -> bytes:
+        raw = self.buf[self.pos : self.pos + length]
+        self.pos += length + (-length % 8)
+        return raw
 
 
 def deserialize_tasks(payload: bytes) -> List[Task]:
-    return pickle.loads(payload)
+    if payload[:8] != _TASK_MAGIC:
+        return pickle.loads(payload)
+    cur = _TaskCursor(payload, 8)
+    (count,) = cur.read_ints(1)
+    tasks: List[Task] = []
+    for _ in range(int(count)):
+        task = Task()
+        (n_pulls,) = cur.read_ints(1)
+        pulls = cur.read_ints(int(n_pulls)).tolist()
+        task._pulls = pulls
+        task._pull_set = set(pulls)
+        (n,) = cur.read_ints(1)
+        n = int(n)
+        vids = cur.read_ints(n)
+        labels = cur.read_ints(n)
+        degrees = cur.read_ints(n)
+        adj = task.g._adj
+        lbl = task.g._labels
+        for i in range(n):
+            row = cur.read_ints(int(degrees[i]))
+            adj[int(vids[i])] = tuple(row.tolist())
+            if labels[i]:
+                lbl[int(vids[i])] = int(labels[i])
+        (kind,) = cur.read_ints(1)
+        if kind == _CTX_INT:
+            task.context = int(cur.read_ints(1)[0])
+        elif kind == _CTX_INT_TUPLE:
+            (length,) = cur.read_ints(1)
+            task.context = tuple(cur.read_ints(int(length)).tolist())
+        elif kind == _CTX_PICKLE:
+            (length,) = cur.read_ints(1)
+            task.context = pickle.loads(cur.read_bytes(int(length)))
+        elif kind != _CTX_NONE:
+            raise ValueError(f"unknown task context kind {kind}")
+        tasks.append(task)
+    return tasks
 
 
 class TaskQueue:

@@ -122,6 +122,7 @@ def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
             data_queues,
             metrics=metrics,
             max_batch_messages=config.ipc_batch_max_messages,
+            wire_format=config.ipc_wire_format,
         )
         worker = Worker(
             worker_id=worker_id,

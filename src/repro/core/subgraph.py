@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["Subgraph"]
 
 
@@ -38,15 +40,41 @@ class Subgraph:
         copying — the paper's Fig. 5 line 2 filtering ("we filter any
         adjacency list item w if w not in Gamma_>(v)") without an extra
         pass.  Re-adding a vertex overwrites its row.
+
+        ``adj`` may be an ndarray (the hot-path representation coming
+        from ``VertexView.adj``).  Rows are normalized to tuples of
+        *python* ints so task subgraphs stay picklable/comparable and
+        np.int64 never leaks into user-visible records; because of that
+        boxing, small rows filter faster through a python set probe than
+        through ``np.isin`` — the vectorized filter only pays off on big
+        (hub-sized) rows, where it runs before the boxing.
         """
-        if keep_only is not None:
-            keep = keep_only if isinstance(keep_only, (set, frozenset)) else set(keep_only)
-            row = tuple(u for u in adj if u in keep)
+        if isinstance(adj, np.ndarray):
+            if keep_only is not None and adj.size >= 256:
+                keep = (keep_only if isinstance(keep_only, np.ndarray)
+                        else np.fromiter(keep_only, dtype=np.int64))
+                adj = adj[np.isin(adj, keep, assume_unique=False)]
+                keep_only = None
+            adj = adj.tolist()  # boxes to python ints in one C pass
+            if keep_only is None:
+                row = tuple(adj)
+            else:
+                keep = (keep_only if isinstance(keep_only, (set, frozenset))
+                        else set(self._as_int_iter(keep_only)))
+                row = tuple(u for u in adj if u in keep)
+        elif keep_only is not None:
+            keep = (keep_only if isinstance(keep_only, (set, frozenset))
+                    else set(self._as_int_iter(keep_only)))
+            row = tuple(int(u) for u in adj if u in keep)
         else:
-            row = tuple(adj)
-        self._adj[v] = row
+            row = tuple(int(u) for u in adj)
+        self._adj[int(v)] = row
         if label:
-            self._labels[v] = label
+            self._labels[int(v)] = int(label)
+
+    @staticmethod
+    def _as_int_iter(values: Iterable[int]) -> Iterable[int]:
+        return values.tolist() if isinstance(values, np.ndarray) else values
 
     def remove_vertex(self, v: int) -> None:
         """Drop ``v``'s row (does not rewrite other rows; use

@@ -33,25 +33,42 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Union
 
+import numpy as np
+
+from ..graph import kernels
 from .errors import CacheProtocolError
 from .metrics import MetricsRegistry
 
 __all__ = ["VertexCache", "CachedVertex", "RequestOutcome"]
 
+#: Modeled per-entry header cost: the CachedVertex record, the Γ-table
+#: slot and the ndarray object header a C++ implementation would also
+#: pay in some form.  The old ``32`` ignored all of that and undercounted.
+_ENTRY_HEADER_BYTES = 64
+
 
 @dataclass
 class CachedVertex:
-    """A Γ-table entry."""
+    """A Γ-table entry.
+
+    ``adj`` is a sorted read-only int64 ndarray — an owned array for
+    remote vertices materialized from a wire response, or a zero-copy
+    view into the local ``SharedCSR`` partition when the runtime caches
+    locally-owned rows.  Legacy tuple adjacency is still accepted.
+    """
 
     vid: int
     label: int
-    adj: Tuple[int, ...]
+    adj: Union[np.ndarray, Sequence[int]]
     lock_count: int = 0
 
     def memory_estimate_bytes(self) -> int:
-        return 32 + 8 * len(self.adj)
+        adj = self.adj
+        if isinstance(adj, np.ndarray):
+            return _ENTRY_HEADER_BYTES + adj.nbytes
+        return _ENTRY_HEADER_BYTES + 8 * len(adj)
 
 
 @dataclass
@@ -205,12 +222,14 @@ class VertexCache:
 
     # -- OP2: receiving thread inserts a response ------------------------------
 
-    def insert_response(self, v: int, label: int, adj: Tuple[int, ...]) -> List[int]:
+    def insert_response(self, v: int, label: int, adj: Sequence[int]) -> List[int]:
         """Move ``v`` from R-table to Γ-table; returns the waiting task ids.
 
         The lock count transfers: every waiting task already holds one
         lock on ``v`` (taken at request time), so the new Γ-entry starts
-        with ``len(waiting)`` locks.
+        with ``len(waiting)`` locks.  ``adj`` is stored as a sorted
+        read-only int64 ndarray (zero-copy when the caller already
+        decoded one from the binary wire format).
         """
         b = self._bucket(v)
         with b.lock:
@@ -221,7 +240,11 @@ class VertexCache:
                 )
             if v in b.gamma:
                 raise CacheProtocolError(f"vertex {v} already in Γ-table")
-            entry = CachedVertex(v, label, tuple(adj), lock_count=pending.lock_count)
+            arr = kernels.as_ids_array(adj)
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+            entry = CachedVertex(int(v), int(label), arr,
+                                 lock_count=pending.lock_count)
             b.gamma[v] = entry
             waiting = list(pending.waiting_task_ids)
         # s_cache unchanged (R-table entry became a Γ-table entry).

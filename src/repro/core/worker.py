@@ -17,6 +17,9 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..graph import kernels
 from ..graph.partition import hash_partition
 from .aggregator import AggregatorService
 from .api import Comper, Task, VertexView
@@ -121,7 +124,10 @@ class Worker:
         self.metrics = metrics
         self.memory = WorkerMemoryModel(metrics, worker_id)
 
-        self._local: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        #: ``T_local``: vertex id -> (label, sorted read-only int64 adj
+        #: ndarray).  Rows faulted in from a SharedCSR are zero-copy
+        #: views into the shared ``indices`` block.
+        self._local: Dict[int, Tuple[int, np.ndarray]] = {}
         #: Shared-memory graph backing (process runtime): rows are
         #: materialized lazily from here into ``_local`` on first touch.
         self._shared = None
@@ -176,13 +182,15 @@ class Worker:
     def load_rows(self, rows) -> None:
         """Load ``(v, label, adj)`` rows into ``T_local`` (trimmed)."""
         for v, label, adj in rows:
-            adj = tuple(adj)
+            arr = kernels.as_ids_array(adj)
             if self._trimmer is not None:
-                adj = tuple(self._trimmer.trim(v, label, adj))
-            self._local[v] = (label, adj)
+                arr = kernels.as_ids_array(self._trimmer.trim(v, label, arr))
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+            self._local[int(v)] = (int(label), arr)
         self._spawn_order = sorted(self._local)
         self.memory.set_local_table(
-            sum(24 + 8 * len(adj) for (_l, adj) in self._local.values())
+            sum(24 + adj.nbytes for (_l, adj) in self._local.values())
         )
 
     def load_shared(self, csr) -> None:
@@ -193,7 +201,8 @@ class Worker:
         records which vertex ids hash to it.  Rows are converted to the
         ``(label, adj)`` tuple format (and trimmed) lazily on first
         access, memoized in ``_local`` — so over a job the worker touches
-        at most its own partition, never the whole graph.
+        at most its own partition, never the whole graph.  Untrimmed rows
+        stay zero-copy views into the shared ``indices`` array.
         """
         owned = [
             int(v) for v in csr.vertex_ids.tolist()
@@ -215,13 +224,17 @@ class Worker:
     def owns_vertex(self, v: int) -> bool:
         return self.owner_of(v) == self.worker_id
 
-    def _entry(self, v: int) -> Optional[Tuple[int, Tuple[int, ...]]]:
-        """``T_local`` row for ``v``, faulting from the shared CSR."""
+    def _entry(self, v: int) -> Optional[Tuple[int, np.ndarray]]:
+        """``T_local`` row for ``v``, faulting from the shared CSR.
+
+        The faulted adjacency is the SharedCSR row *view* (or a slice of
+        it after Γ_>-style trimming) — still sharing the shm buffer.
+        """
         entry = self._local.get(v)
         if entry is None and v in self._shared_owned:
             label, adj = self._shared.entry(v)
             if self._trimmer is not None:
-                adj = tuple(self._trimmer.trim(v, label, adj))
+                adj = kernels.as_ids_array(self._trimmer.trim(v, label, adj))
             entry = (label, adj)
             self._local[v] = entry
         return entry
@@ -239,7 +252,7 @@ class Worker:
         label, adj = entry
         return VertexView(v, label, adj)
 
-    def local_entry(self, v: int) -> Tuple[int, Tuple[int, ...]]:
+    def local_entry(self, v: int) -> Tuple[int, np.ndarray]:
         """Serve a remote pull from ``T_local`` (raises on unknown ids)."""
         entry = self._entry(v)
         if entry is None:

@@ -1,5 +1,6 @@
 """Graph substrate: representation, generators, sharded IO, partitioning."""
 
+from . import kernels
 from .graph import Graph, adjacency_suffix_gt, intersect_sorted, intersect_sorted_count
 from .generators import (
     barabasi_albert,
@@ -25,6 +26,7 @@ from .csr import CSRGraph, SharedCSR, SharedCSRMeta
 
 __all__ = [
     "Graph",
+    "kernels",
     "adjacency_suffix_gt",
     "intersect_sorted",
     "intersect_sorted_count",

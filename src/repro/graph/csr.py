@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import kernels
 from .graph import Graph
 
 __all__ = ["CSRGraph", "SharedCSR", "SharedCSRMeta"]
@@ -122,11 +123,11 @@ class CSRGraph:
         indptr, indices = self.indptr, self.indices
         for u in range(self.num_vertices):
             row_u = indices[indptr[u]: indptr[u + 1]]
-            upper_u = row_u[np.searchsorted(row_u, u, side="right"):]
+            upper_u = kernels.suffix_gt(row_u, u)
             for v in upper_u:
                 row_v = indices[indptr[v]: indptr[v + 1]]
-                upper_v = row_v[np.searchsorted(row_v, v, side="right"):]
-                total += len(np.intersect1d(upper_u, upper_v, assume_unique=True))
+                upper_v = kernels.suffix_gt(row_v, v)
+                total += kernels.intersect_count(upper_u, upper_v)
         return total
 
     def memory_bytes(self) -> int:
@@ -329,11 +330,17 @@ class SharedCSR:
         i = self.position_of(vertex_id)
         return self.indices[self.indptr[i]: self.indptr[i + 1]]
 
-    def entry(self, vertex_id: int) -> Tuple[int, Tuple[int, ...]]:
-        """``(label, adjacency)`` in the worker's ``T_local`` row format."""
+    def entry(self, vertex_id: int) -> Tuple[int, np.ndarray]:
+        """``(label, adjacency)`` in the worker's ``T_local`` row format.
+
+        The adjacency is a read-only zero-copy *view* into the shared
+        ``indices`` block — no boxing, no tuple copy.  The view holds a
+        reference to the shm buffer, so it stays valid for as long as any
+        task keeps it, independent of cache eviction.
+        """
         i = self.position_of(vertex_id)
         row = self.indices[self.indptr[i]: self.indptr[i + 1]]
-        return int(self.labels[i]), tuple(row.tolist())
+        return int(self.labels[i]), row
 
     def memory_bytes(self) -> int:
         return 8 * (2 * self.num_vertices + 1 + self.meta.num_entries

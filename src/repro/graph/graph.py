@@ -16,6 +16,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "Graph",
     "adjacency_suffix_gt",
@@ -27,14 +29,14 @@ __all__ = [
 def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     """Intersect two sorted integer sequences in ``O(|a| + |b|)``.
 
-    This is the hot kernel of every serial miner (clique extension,
-    triangle closing); keeping it branch-light matters.
+    Pure-Python reference oracle.  The hot-path miners use the vectorized
+    kernels in :mod:`repro.graph.kernels` (which auto-select a galloping
+    ``searchsorted`` variant for skewed sizes); this merge loop is kept as
+    the ground truth they are tested against.
     """
     out: List[int] = []
     i, j = 0, 0
     la, lb = len(a), len(b)
-    # Galloping would help for very skewed sizes, but the simple merge is
-    # what the paper's serial miners use and is fast enough in practice.
     while i < la and j < lb:
         x, y = a[i], b[j]
         if x == y:
@@ -49,7 +51,10 @@ def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
 
 
 def intersect_sorted_count(a: Sequence[int], b: Sequence[int]) -> int:
-    """Count the intersection of two sorted sequences without materializing."""
+    """Count the intersection of two sorted sequences without materializing.
+
+    Pure-Python reference oracle for :func:`repro.graph.kernels.intersect_count`.
+    """
     n = 0
     i, j = 0, 0
     la, lb = len(a), len(b)
@@ -91,7 +96,7 @@ class Graph:
         to label ``0``.
     """
 
-    __slots__ = ("_adj", "_labels", "_num_edges")
+    __slots__ = ("_adj", "_labels", "_num_edges", "_adj_arrays")
 
     def __init__(
         self,
@@ -101,6 +106,7 @@ class Graph:
         self._adj: Dict[int, Tuple[int, ...]] = {}
         self._labels: Dict[int, int] = dict(labels) if labels else {}
         self._num_edges = 0
+        self._adj_arrays: Dict[int, np.ndarray] = {}
         if adjacency:
             for v, nbrs in adjacency.items():
                 cleaned = sorted({u for u in nbrs if u != v})
@@ -166,6 +172,25 @@ class Graph:
         """Neighbors of ``v`` with id greater than ``v`` (``Gamma_>(v)``)."""
         return adjacency_suffix_gt(self._adj[v], v)
 
+    def neighbors_array(self, v: int) -> np.ndarray:
+        """``Gamma(v)`` as a read-only sorted int64 ndarray (cached).
+
+        The array is built lazily on first access and memoized, so the
+        vectorized kernels in :mod:`repro.graph.kernels` can be fed
+        without re-boxing tuples on every call.
+        """
+        arr = self._adj_arrays.get(v)
+        if arr is None:
+            arr = np.asarray(self._adj[v], dtype=np.int64)
+            arr.flags.writeable = False
+            self._adj_arrays[v] = arr
+        return arr
+
+    def neighbors_gt_array(self, v: int) -> np.ndarray:
+        """``Gamma_>(v)`` as a read-only ndarray view into ``neighbors_array``."""
+        arr = self.neighbors_array(v)
+        return arr[int(np.searchsorted(arr, v, side="right")):]
+
     def degree(self, v: int) -> int:
         return len(self._adj[v])
 
@@ -221,6 +246,7 @@ class Graph:
         g = Graph.__new__(Graph)
         g._adj = {v: tuple(a) for v, a in adj.items()}
         g._labels = dict(self._labels)
+        g._adj_arrays = {}
         # Trimming may make adjacency asymmetric (e.g. Gamma_> trimming);
         # count directed entries instead of halving.
         g._num_edges = sum(len(a) for a in g._adj.values())

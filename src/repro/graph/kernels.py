@@ -1,0 +1,178 @@
+"""Vectorized sorted-array kernels for the NumPy-native adjacency path.
+
+Every adjacency list on the hot path is a sorted, duplicate-free
+``numpy.ndarray`` of ``int64`` vertex ids (a zero-copy view into a
+``SharedCSR`` partition for local vertices, an owned array for remote
+ones).  The mining inner loops — triangle counting, clique expansion,
+subgraph-matching candidate generation — all reduce to intersections of
+such arrays, so this module is the single place they are implemented.
+
+Two strategies, auto-selected by :func:`intersect` / :func:`intersect_count`:
+
+* **merge** when the inputs are comparably sized: concatenate and
+  stable-sort, then keep adjacent duplicates.  The concatenation of two
+  sorted arrays is exactly two pre-sorted runs, which numpy's stable
+  sort (timsort) merges in O(|a| + |b|) — measurably faster than
+  ``np.intersect1d``'s quicksort, which cannot exploit the runs.
+* **gallop** (``np.searchsorted`` of the smaller array into the larger)
+  when ``|b| >= GALLOP_RATIO * |a|`` — O(|a| log |b|), the galloping
+  search the TODO in :mod:`repro.graph.graph` asked for.  This is the
+  common shape in degree-skewed graphs where a low-degree frontier is
+  intersected against a hub's adjacency.
+
+The pure-Python ``intersect_sorted`` / ``intersect_sorted_count`` /
+``adjacency_suffix_gt`` in :mod:`repro.graph.graph` are kept unchanged as
+the reference oracles; ``tests/test_kernels.py`` checks every kernel here
+against them on randomized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "GALLOP_RATIO",
+    "IdArray",
+    "as_ids_array",
+    "intersect",
+    "intersect_count",
+    "intersect_gallop",
+    "intersect_many",
+    "intersect_merge",
+    "suffix_gt",
+]
+
+IdArray = np.ndarray
+AdjLike = Union[np.ndarray, Sequence[int]]
+
+#: Switch from the linear merge to the galloping (binary-search) kernel
+#: when the larger input is at least this many times the smaller one.
+GALLOP_RATIO = 8
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.flags.writeable = False
+
+
+def as_ids_array(adj: AdjLike) -> IdArray:
+    """Return ``adj`` as an int64 ndarray, zero-copy when already one.
+
+    Tuples/lists of python ints (the legacy representation, still
+    accepted everywhere for compatibility) are converted; arrays of the
+    right dtype pass through untouched so views into ``SharedCSR``
+    partitions keep sharing memory.
+    """
+    if isinstance(adj, np.ndarray):
+        if adj.dtype == np.int64:
+            return adj
+        return adj.astype(np.int64)
+    return np.asarray(adj, dtype=np.int64)
+
+
+def _gallop_mask(small: IdArray, large: IdArray) -> np.ndarray:
+    """Boolean mask over ``small`` marking elements present in ``large``.
+
+    Both inputs must be sorted.  ``searchsorted`` finds each candidate's
+    insertion point in one vectorized pass; clipping the out-of-range
+    index to the last slot is safe because an element beyond ``large[-1]``
+    can never compare equal to it.
+    """
+    idx = np.searchsorted(large, small)
+    idx_clipped = np.minimum(idx, large.size - 1)
+    return (large[idx_clipped] == small) & (idx < large.size)
+
+
+def _merge(a: IdArray, b: IdArray) -> IdArray:
+    """Stable-sort merge: the concatenation is two sorted runs, which
+    timsort detects and merges linearly; duplicates are then adjacent
+    and (inputs being duplicate-free) mark exactly the intersection."""
+    aux = np.concatenate((a, b))
+    aux.sort(kind="stable")
+    return aux[:-1][aux[1:] == aux[:-1]]
+
+
+def intersect_merge(a: AdjLike, b: AdjLike) -> IdArray:
+    """Linear-merge intersection of two sorted duplicate-free arrays."""
+    a = as_ids_array(a)
+    b = as_ids_array(b)
+    if a.size == 0 or b.size == 0:
+        return _EMPTY
+    return _merge(a, b)
+
+
+def intersect_gallop(a: AdjLike, b: AdjLike) -> IdArray:
+    """Galloping intersection: binary-search the smaller into the larger."""
+    a = as_ids_array(a)
+    b = as_ids_array(b)
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0 or b.size == 0:
+        return _EMPTY
+    return a[_gallop_mask(a, b)]
+
+
+def intersect(a: AdjLike, b: AdjLike) -> IdArray:
+    """Sorted-array intersection, auto-selecting merge vs gallop.
+
+    Returns a sorted int64 array.  The result is always a fresh (owned)
+    array; inputs are never modified.
+    """
+    a = as_ids_array(a)
+    b = as_ids_array(b)
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0:
+        return _EMPTY
+    if b.size >= GALLOP_RATIO * a.size:
+        return a[_gallop_mask(a, b)]
+    return _merge(a, b)
+
+
+def intersect_count(a: AdjLike, b: AdjLike) -> int:
+    """``len(intersect(a, b))`` without materializing the result.
+
+    Same merge/gallop auto-selection as :func:`intersect`, but both
+    paths end in ``count_nonzero`` on the equality mask — no output
+    array is ever built.
+    """
+    a = as_ids_array(a)
+    b = as_ids_array(b)
+    if a.size > b.size:
+        a, b = b, a
+    if a.size == 0 or b.size == 0:
+        return 0
+    if b.size >= GALLOP_RATIO * a.size:
+        return int(np.count_nonzero(_gallop_mask(a, b)))
+    aux = np.concatenate((a, b))
+    aux.sort(kind="stable")
+    return int(np.count_nonzero(aux[1:] == aux[:-1]))
+
+
+def intersect_many(arrays: Iterable[AdjLike]) -> IdArray:
+    """Fold an intersection across a frontier of sorted arrays.
+
+    Processes smallest-first so the running result shrinks as fast as
+    possible, and bails out the moment it empties.  An empty iterable
+    returns an empty array (there is no universe set to return).
+    """
+    arrs = sorted((as_ids_array(a) for a in arrays), key=lambda x: x.size)
+    if not arrs:
+        return _EMPTY
+    acc = arrs[0]
+    for nxt in arrs[1:]:
+        if acc.size == 0:
+            return _EMPTY
+        acc = intersect(acc, nxt)
+    return acc
+
+
+def suffix_gt(adj: AdjLike, v: int) -> IdArray:
+    """Slice of ``adj`` strictly greater than ``v`` (sorted input).
+
+    For ndarray input this is a *view* — it shares memory with ``adj``,
+    so trimming a ``SharedCSR`` row stays zero-copy.  Mirrors the
+    pure-Python ``adjacency_suffix_gt`` oracle.
+    """
+    a = as_ids_array(adj)
+    return a[int(np.searchsorted(a, v, side="right")):]

@@ -24,6 +24,9 @@ def hash_partition(v: int, num_partitions: int) -> int:
     """
     if num_partitions < 1:
         raise ValueError("num_partitions must be >= 1")
+    # Coerce to a python int: numpy int64 ids (from ndarray adjacency)
+    # would overflow on the 64-bit multiply below.
+    v = int(v)
     # 64-bit Fibonacci hashing constant (2^64 / golden ratio), masked to
     # stay within 64 bits like the C++ implementation would.
     mixed = (v * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF

@@ -1,5 +1,6 @@
 """Batched message-passing substrate between workers."""
 
+from . import wire
 from .message import (
     Message,
     RequestBatch,
@@ -16,4 +17,5 @@ __all__ = [
     "TaskBatchTransfer",
     "estimate_adj_bytes",
     "Transport",
+    "wire",
 ]

@@ -12,14 +12,19 @@ Two implementations of one polling contract (``send`` / ``poll`` /
   runtimes deliver immediately.
 * :class:`ProcessTransport` — one instance per *worker process*
   (``runtime="process"``).  Outgoing messages accumulate in
-  per-destination buffers and are drained as one pickled batch per
+  per-destination buffers and are drained as one encoded batch per
   destination through ``multiprocessing`` queues — the paper's batched
   sending, applied to IPC: many small vertex pulls cost one queue
-  round-trip, not many.
+  round-trip, not many.  Batches are encoded by this transport itself
+  (``wire_format="binary"`` → :mod:`repro.net.wire` frames with raw
+  ``int64`` adjacency payloads; ``"pickle"`` → one pickle per batch) so
+  the exact bytes crossing the process boundary are measured under the
+  ``ipc:payload_bytes`` metric.
 """
 
 from __future__ import annotations
 
+import pickle
 import queue as queue_mod
 import threading
 from collections import deque
@@ -27,6 +32,7 @@ from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..core.config import NetworkModel
 from ..core.metrics import MetricsRegistry
+from . import wire
 from .message import Message
 
 __all__ = ["Transport", "ProcessTransport"]
@@ -169,13 +175,17 @@ class ProcessTransport:
         queues: Sequence,
         metrics: Optional[MetricsRegistry] = None,
         max_batch_messages: int = 64,
+        wire_format: str = "binary",
     ) -> None:
         if not 0 <= worker_id < len(queues):
             raise ValueError(f"worker_id {worker_id} out of range")
+        if wire_format not in ("binary", "pickle"):
+            raise ValueError(f"unknown wire_format {wire_format!r}")
         self._worker_id = worker_id
         self._queues = list(queues)
         self._metrics = metrics or MetricsRegistry()
         self._max_batch = max(1, max_batch_messages)
+        self._wire_format = wire_format
         self._buffers: List[List[Message]] = [[] for _ in queues]
         self.sent_count = 0
         self.received_count = 0
@@ -201,9 +211,14 @@ class ProcessTransport:
         buf = self._buffers[dst]
         if buf:
             self._buffers[dst] = []
-            self._queues[dst].put(buf)
+            if self._wire_format == "binary":
+                payload = wire.encode_batch(buf)
+            else:
+                payload = pickle.dumps(buf, protocol=pickle.HIGHEST_PROTOCOL)
+            self._queues[dst].put(payload)
             self._metrics.add("ipc:batches")
             self._metrics.add("ipc:batched_messages", len(buf))
+            self._metrics.add("ipc:payload_bytes", len(payload))
 
     def flush_outgoing(self) -> None:
         """Drain every per-destination buffer onto its queue."""
@@ -229,6 +244,10 @@ class ProcessTransport:
                 batch = inbox.get_nowait()
             except queue_mod.Empty:
                 break
-            out.extend(batch)
+            if isinstance(batch, (bytes, bytearray)):
+                # Magic-sniffing decode: binary frames or a pickled batch.
+                out.extend(wire.decode_batch(bytes(batch)))
+            else:
+                out.extend(batch)  # legacy raw-list payload
         self.received_count += len(out)
         return out

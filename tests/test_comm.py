@@ -58,7 +58,7 @@ def test_request_served_from_local_table():
     assert len(responses) == 1
     (vid, label, adj) = responses[0].vertices[0]
     assert vid == v
-    assert adj == g.neighbors(v)
+    assert tuple(adj) == g.neighbors(v)
 
 
 def test_response_chunking():

@@ -84,7 +84,7 @@ def test_shared_entries_match_graph(er_graph, shared_csr):
     for v in er_graph.vertices():
         label, adj = shared_csr.entry(v)
         assert label == er_graph.label(v)
-        assert adj == tuple(er_graph.neighbors(v))
+        assert tuple(adj) == tuple(er_graph.neighbors(v))
         assert shared_csr.degree_of(v) == er_graph.degree(v)
 
 
@@ -106,7 +106,10 @@ def test_shared_attach_sees_same_arrays(er_graph, shared_csr):
         np.testing.assert_array_equal(attached.vertex_ids,
                                       shared_csr.vertex_ids)
         v = int(shared_csr.vertex_ids[0])
-        assert attached.entry(v) == shared_csr.entry(v)
+        a_label, a_adj = attached.entry(v)
+        s_label, s_adj = shared_csr.entry(v)
+        assert a_label == s_label
+        np.testing.assert_array_equal(a_adj, s_adj)
     finally:
         attached.close()
 
@@ -134,7 +137,9 @@ def test_shared_noncontiguous_ids():
     g = Graph.from_edges([(10, 200), (200, 3000), (10, 3000)])
     csr = SharedCSR.from_graph(g)
     try:
-        assert csr.entry(200) == (0, (10, 3000))
+        label, adj = csr.entry(200)
+        assert label == 0
+        assert tuple(adj) == (10, 3000)
         assert csr.degree_of(3000) == 2
     finally:
         csr.close()

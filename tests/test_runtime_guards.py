@@ -24,7 +24,7 @@ class Forever(Comper):
 
     def task_spawn(self, v: VertexView) -> None:
         t = Task(context=v.id)
-        if v.adj:
+        if len(v.adj):
             t.pull(v.adj[0])
             self.add_task(t)
 

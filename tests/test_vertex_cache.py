@@ -35,7 +35,7 @@ class TestOP1Request:
         c.insert_response(5, 0, (1, 2))
         out = c.request(5, 2)
         assert out.status == RequestOutcome.HIT
-        assert out.entry.adj == (1, 2)
+        assert tuple(out.entry.adj) == (1, 2)
 
     def test_hit_increments_lock_count(self):
         c = make_cache()
