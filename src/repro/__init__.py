@@ -22,6 +22,7 @@ Quick start::
 from .core import (
     Aggregator,
     Comper,
+    FailurePlanConfig,
     GThinkerConfig,
     JobResult,
     MaxAggregator,
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Aggregator",
     "Comper",
+    "FailurePlanConfig",
     "GThinkerConfig",
     "JobResult",
     "MaxAggregator",

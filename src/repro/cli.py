@@ -35,7 +35,7 @@ from .apps import (
     TriangleCountComper,
 )
 from .core.config import GThinkerConfig
-from .core.job import run_job
+from .core.job import resume_job, run_job
 from .core.runtime import available_runtimes
 from .graph import (
     DATASETS,
@@ -77,6 +77,17 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     run.add_argument("--profile", action="store_true",
                      help="run under cProfile and print the top 20 "
                           "functions by cumulative time")
+
+    ft = p.add_argument_group("fault tolerance")
+    ft.add_argument("--checkpoint-dir",
+                    help="write periodic checkpoints under this directory "
+                         "(serial and process runtimes)")
+    ft.add_argument("--checkpoint-every", type=int, default=4,
+                    help="checkpoint every N syncs when --checkpoint-dir "
+                         "is set (default 4)")
+    ft.add_argument("--resume", action="store_true",
+                    help="resume from the checkpoint in --checkpoint-dir "
+                         "instead of starting fresh")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,7 +163,16 @@ def _make_config(args) -> GThinkerConfig:
     )
     if args.tau is not None:
         kwargs["decompose_threshold"] = args.tau
+    if getattr(args, "checkpoint_dir", None):
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
+        kwargs["checkpoint_every_syncs"] = args.checkpoint_every
     return GThinkerConfig(**kwargs)
+
+
+def _checkpoint_file(args) -> str:
+    import os.path
+
+    return os.path.join(args.checkpoint_dir, f"{args.command}.ckpt")
 
 
 def _app_factory(args):
@@ -213,6 +233,12 @@ def main(argv=None) -> int:
               f"into {args.num_shards} shards under {args.out}")
         return 0
 
+    if getattr(args, "resume", False):
+        if not getattr(args, "checkpoint_dir", None):
+            raise SystemExit("--resume requires --checkpoint-dir")
+        if args.simulate:
+            raise SystemExit("--resume is not supported with --simulate")
+
     graph = _load_graph(args)
     config = _make_config(args)
     factory = _app_factory(args)
@@ -225,6 +251,12 @@ def main(argv=None) -> int:
         profiler.enable()
     if args.simulate:
         result = run_simulated_job(factory, graph, config)
+    elif getattr(args, "resume", False):
+        result = resume_job(factory, graph, _checkpoint_file(args),
+                            config=config, runtime=args.runtime)
+    elif getattr(args, "checkpoint_dir", None):
+        result = run_job(factory, graph, config, runtime=args.runtime,
+                         checkpoint_path=_checkpoint_file(args))
     else:
         result = run_job(factory, graph, config, runtime=args.runtime)
     if profiler is not None:

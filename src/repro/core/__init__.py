@@ -9,7 +9,13 @@ from .api import (
     Trimmer,
     VertexView,
 )
-from .config import DiskModel, GThinkerConfig, MachineModel, NetworkModel
+from .config import (
+    DiskModel,
+    FailurePlanConfig,
+    GThinkerConfig,
+    MachineModel,
+    NetworkModel,
+)
 from .errors import (
     CacheProtocolError,
     CheckpointError,
@@ -44,6 +50,7 @@ __all__ = [
     "Trimmer",
     "VertexView",
     "DiskModel",
+    "FailurePlanConfig",
     "GThinkerConfig",
     "MachineModel",
     "NetworkModel",

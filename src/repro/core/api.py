@@ -85,6 +85,19 @@ class Task:
     def pending_pulls(self) -> Tuple[int, ...]:
         return tuple(self._pulls)
 
+    def all_pending_pulls(self) -> Tuple[int, ...]:
+        """Every vertex this task still needs (dedup, order-preserving).
+
+        The union of ``pulls_in_flight`` — the P(t) of a parked
+        iteration — and the pulls requested but not yet taken by the
+        engine.  A task can hold both at once (parked on remote pulls
+        while its compute queued more), so checkpointing must snapshot
+        the union; either list alone silently drops vertices.
+        """
+        return tuple(dict.fromkeys(
+            tuple(self.pulls_in_flight) + tuple(self._pulls)
+        ))
+
     def memory_estimate_bytes(self) -> int:
         return 64 + self.g.memory_estimate_bytes() + 8 * len(self._pulls)
 

@@ -8,8 +8,14 @@ the spilled task files, the outputs emitted so far, and the global
 aggregator value.
 
 Checkpoints are written at sync points of the **serial runtime** (the
-deterministic scheduler guarantees no task is mid-iteration there).
-Recovery builds a fresh job seeded from the snapshot.
+deterministic scheduler guarantees no task is mid-iteration there) and
+at the sync-barrier checkpoints of the **process runtime** (workers
+quiesce, the wire is drained until ``sent == received`` globally, then
+every worker ships a :class:`WorkerSnapshot` — including its transport
+counters, so the termination detector stays sound after a restore).
+Recovery builds a fresh job seeded from the snapshot; both runtimes
+read the same :class:`JobCheckpoint` format, so a shard written by one
+can be resumed by the other.
 """
 
 from __future__ import annotations
@@ -22,7 +28,15 @@ from typing import Any, Dict, List, Optional, Tuple
 from .api import Task
 from .errors import CheckpointError
 
-__all__ = ["TaskSnapshot", "WorkerSnapshot", "JobCheckpoint", "snapshot_task", "restore_task"]
+__all__ = [
+    "TaskSnapshot",
+    "WorkerSnapshot",
+    "JobCheckpoint",
+    "snapshot_task",
+    "restore_task",
+    "snapshot_worker",
+    "restore_worker",
+]
 
 
 @dataclass
@@ -37,13 +51,18 @@ class TaskSnapshot:
 
 def snapshot_task(task: Task) -> TaskSnapshot:
     """Capture a task; pending pulls (in flight or not yet issued) are
-    recorded so recovery re-requests them."""
-    pulls = tuple(task.pulls_in_flight) if task.pulls_in_flight else task.pending_pulls()
+    recorded so recovery re-requests them.
+
+    The pull set is the **union** of ``pulls_in_flight`` (the P(t) of
+    the parked iteration) and ``pending_pulls()`` (pulls requested but
+    not yet taken by the engine): a task can hold both at once, and
+    restoring only one silently drops the other's vertices.
+    """
     return TaskSnapshot(
         adjacency=dict(task.g.adjacency()),
         labels={v: task.g.label(v) for v in task.g.vertices() if task.g.label(v)},
         context=task.context,
-        pulls=pulls,
+        pulls=task.all_pending_pulls(),
     )
 
 
@@ -61,6 +80,16 @@ class WorkerSnapshot:
     spawn_cursor: int
     tasks: List[TaskSnapshot] = field(default_factory=list)
     outputs: List[Any] = field(default_factory=list)
+    #: Process runtime only: the worker's aggregator partial at the
+    #: barrier (folded into :attr:`JobCheckpoint.aggregator_global` by
+    #: the parent; never re-applied on restore).
+    partial: Any = None
+    #: Process runtime only: the worker's monotone transport counters at
+    #: the barrier.  Globally ``sum(sent) == sum(received)`` (the
+    #: barrier drains the wire first), so restoring them keeps the
+    #: ``sent == received`` termination rule sound after recovery.
+    sent: int = 0
+    received: int = 0
 
 
 @dataclass
@@ -69,6 +98,11 @@ class JobCheckpoint:
     aggregator_global: Any
     num_workers: int
     compers_per_worker: int
+    #: Which sync-barrier checkpoint this is (1-based; monotone per
+    #: job).  Lets tooling and recovery logs tell shards apart, and
+    #: output dedup reason about which epoch a restored output list
+    #: belongs to.
+    epoch: int = 0
 
     def save(self, path) -> None:
         path = Path(path)
@@ -93,32 +127,54 @@ class JobCheckpoint:
         return ckpt
 
 
+def snapshot_worker(worker) -> WorkerSnapshot:
+    """Capture one (quiescent) worker's tasks, cursor and outputs.
+
+    Tasks are collected from every container: ``Q_task`` (peeked),
+    ``B_task`` (a non-destructive ``get_batch``/``put`` round-trip that
+    preserves order), ``T_task`` (entries keep their pull sets so they
+    re-request on restore), and the spilled batch files of ``L_file``
+    (read without consuming).
+    """
+    tasks: List[TaskSnapshot] = []
+    for engine in worker.engines:
+        for t in list(engine.q_task._q):
+            tasks.append(snapshot_task(t))
+        # B_task and T_task entries: saved with pulls so they re-pull.
+        for t in engine.b_task.get_batch(limit=10**9):
+            tasks.append(snapshot_task(t))
+            engine.b_task.put(t)  # non-destructive round-trip
+        with engine.t_task._lock:
+            for entry in engine.t_task._entries.values():
+                tasks.append(snapshot_task(entry.task))
+    for file_tasks in _peek_files(worker.l_file):
+        tasks.extend(snapshot_task(t) for t in file_tasks)
+    return WorkerSnapshot(
+        spawn_cursor=worker.spawn_cursor(),
+        tasks=tasks,
+        outputs=worker.outputs(),
+    )
+
+
+def restore_worker(worker, snap: WorkerSnapshot) -> None:
+    """Seed a freshly built worker from its snapshot.
+
+    The cache restarts cold and every restored task re-requests its
+    pulls (they were snapshotted as pull sets); outputs are replaced —
+    not appended — so re-emission after a rollback cannot duplicate
+    records from an earlier epoch.
+    """
+    worker.set_spawn_cursor(snap.spawn_cursor)
+    worker.set_outputs(list(snap.outputs))
+    for i, tsnap in enumerate(snap.tasks):
+        engine = worker.engines[i % len(worker.engines)]
+        engine.add_task(restore_task(tsnap))
+
+
 def capture(cluster) -> JobCheckpoint:
     """Snapshot a (quiescent-at-sync-point) cluster."""
-    snapshots: List[WorkerSnapshot] = []
-    for w in cluster.workers:
-        tasks: List[TaskSnapshot] = []
-        for engine in w.engines:
-            for t in list(engine.q_task._q):
-                tasks.append(snapshot_task(t))
-            # B_task and T_task entries: saved with pulls so they re-pull.
-            for t in engine.b_task.get_batch(limit=10**9):
-                tasks.append(snapshot_task(t))
-                engine.b_task.put(t)  # non-destructive round-trip
-            with engine.t_task._lock:
-                for entry in engine.t_task._entries.values():
-                    tasks.append(snapshot_task(entry.task))
-        for file_tasks in _peek_files(w.l_file):
-            tasks.extend(snapshot_task(t) for t in file_tasks)
-        snapshots.append(
-            WorkerSnapshot(
-                spawn_cursor=w.spawn_cursor(),
-                tasks=tasks,
-                outputs=w.outputs(),
-            )
-        )
     return JobCheckpoint(
-        worker_snapshots=snapshots,
+        worker_snapshots=[snapshot_worker(w) for w in cluster.workers],
         aggregator_global=cluster.master.global_aggregator.value,
         num_workers=len(cluster.workers),
         compers_per_worker=cluster.config.compers_per_worker,

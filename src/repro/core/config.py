@@ -11,7 +11,13 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["GThinkerConfig", "NetworkModel", "DiskModel", "MachineModel"]
+__all__ = [
+    "GThinkerConfig",
+    "FailurePlanConfig",
+    "NetworkModel",
+    "DiskModel",
+    "MachineModel",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,62 @@ class MachineModel:
     num_cores: int = 16
     memory_bytes: int = 64 << 30
     cpu_speed: float = 1.0  # virtual-seconds per measured-second of compute
+
+
+#: Events a :class:`FailurePlanConfig` can trigger on.
+FAILURE_EVENTS = ("sync", "spawn", "spill", "steal", "random")
+
+
+@dataclass(frozen=True)
+class FailurePlanConfig:
+    """Deterministic worker-kill schedule for ``runtime="process"``.
+
+    Drives the §V-B fault-tolerance machinery from tests, the CI
+    kill-worker matrix and the ``repro check`` fuzzer: the selected
+    worker process exits hard (``os._exit``, no error report — exactly
+    what a machine loss looks like to the parent) when its trigger
+    fires.  Triggers:
+
+    * ``when="sync"`` — on receiving the ``at_count``-th sync command
+      (mid-protocol: the master is left waiting for the status reply);
+    * ``when="spawn"`` — mid-spawn: the ``at_count``-th scheduler round
+      observing a partially advanced spawn cursor;
+    * ``when="spill"`` — post-spill: the ``at_count``-th round observing
+      at least one spilled batch file in ``L_file``;
+    * ``when="steal"`` — on receiving the ``at_count``-th steal command
+      (a task batch may be mid-flight to the thief);
+    * ``when="random"`` — seeded coin flip at every sync on every
+      worker (``kill_worker=None`` means any worker may die).
+
+    A plan is armed only in the job's first incarnation: once a worker
+    set has been respawned after a failure the plan stays quiet, so one
+    plan produces exactly one injected loss (set ``rearm=True`` to keep
+    killing after recoveries, e.g. to exercise retry exhaustion).
+    """
+
+    kill_worker: Optional[int] = None
+    when: str = "sync"
+    at_count: int = 1
+    probability: float = 1.0
+    seed: int = 0
+    rearm: bool = False
+    exit_code: int = 43
+
+    def __post_init__(self) -> None:
+        if self.when not in FAILURE_EVENTS:
+            raise ValueError(
+                f"unknown failure event {self.when!r}; pick one of {FAILURE_EVENTS}"
+            )
+        if self.when != "random" and self.kill_worker is None:
+            raise ValueError(
+                f"FailurePlanConfig(when={self.when!r}) needs an explicit kill_worker"
+            )
+        if self.kill_worker is not None and self.kill_worker < 0:
+            raise ValueError("kill_worker must be a worker id (>= 0)")
+        if self.at_count < 1:
+            raise ValueError("at_count must be >= 1")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -94,7 +156,29 @@ class GThinkerConfig:
         and least-loaded workers exceeds one batch, move up to
         ``steal_batches`` task batches per sync.
     checkpoint_every_syncs:
-        If > 0, write a checkpoint every this many progress syncs.
+        If > 0, write a checkpoint every this many progress syncs.  On
+        ``runtime="process"`` each checkpoint is a sync-barrier protocol
+        (quiesce, drain the wire, snapshot every worker, resume) and the
+        resulting in-memory checkpoint doubles as the rollback point for
+        worker-loss recovery even when no ``checkpoint_path`` is given.
+    failure_plan:
+        ``runtime="process"`` only: a :class:`FailurePlanConfig`
+        describing a deterministic injected worker kill (worker *i* at
+        sync *k*, or seeded random kills) for fault-tolerance tests and
+        the CI kill matrix.
+    max_worker_restarts:
+        ``runtime="process"`` only: how many times the parent may
+        respawn the worker set from the last checkpoint after losing a
+        worker process before giving up with
+        :class:`~repro.core.errors.WorkerProcessError` (0 = any worker
+        loss is fatal, the pre-fault-tolerance behaviour).
+    worker_restart_backoff_s:
+        Base delay before a recovery respawn; doubles per consecutive
+        restart (exponential backoff on the control plane).
+    control_reply_timeout_s:
+        How long the parent waits for a single control-plane reply from
+        a worker process before treating it as hung (and, if restarts
+        remain, recovering it).
     inline_iteration_limit:
         A task whose pulls keep resolving locally yields its comper after
         this many consecutive inline iterations (``None`` = the engine
@@ -145,6 +229,10 @@ class GThinkerConfig:
     steal_batches: int = 4
     checkpoint_every_syncs: int = 0
     checkpoint_dir: Optional[str] = None
+    failure_plan: Optional[FailurePlanConfig] = None
+    max_worker_restarts: int = 3
+    worker_restart_backoff_s: float = 0.05
+    control_reply_timeout_s: float = 60.0
     spill_dir: Optional[str] = None
     inline_iteration_limit: Optional[int] = None
     check_protocols: bool = False
@@ -185,6 +273,18 @@ class GThinkerConfig:
             raise ValueError(
                 f"unknown process_start_method {self.process_start_method!r}"
             )
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if self.worker_restart_backoff_s < 0:
+            raise ValueError("worker_restart_backoff_s must be >= 0")
+        if self.control_reply_timeout_s <= 0:
+            raise ValueError("control_reply_timeout_s must be > 0")
+        if self.failure_plan is not None and self.failure_plan.kill_worker is not None:
+            if self.failure_plan.kill_worker >= self.num_workers:
+                raise ValueError(
+                    f"failure_plan.kill_worker {self.failure_plan.kill_worker} "
+                    f"out of range for {self.num_workers} workers"
+                )
 
     @property
     def check_enabled(self) -> bool:

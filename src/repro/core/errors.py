@@ -37,12 +37,21 @@ class WorkerProcessError(GThinkerError):
     """A worker process of the ``"process"`` runtime died or misbehaved.
 
     Carries the worker id and, when the child could still report it, the
-    formatted traceback of the original exception.
+    formatted traceback of the original exception.  ``recoverable``
+    classifies the loss for the fault-tolerance layer: a process that
+    vanished without an error report (killed, OOM, injected failure)
+    is recoverable — the parent may respawn the worker set from the
+    last sync-barrier checkpoint — while a worker that reported an
+    exception from user/framework code is not (the same code would
+    fail again after a rollback).
     """
 
-    def __init__(self, worker_id: int, message: str) -> None:
+    def __init__(
+        self, worker_id: int, message: str, recoverable: bool = False
+    ) -> None:
         super().__init__(f"worker process {worker_id}: {message}")
         self.worker_id = worker_id
+        self.recoverable = recoverable
 
 
 class JobAbortedError(GThinkerError):

@@ -36,8 +36,9 @@ from ..graph.io import ShardedGraphStore
 from ..graph.partition import hash_partition
 from ..net.transport import Transport
 from .api import Comper
-from .checkpoint import JobCheckpoint, capture, restore_task
+from .checkpoint import JobCheckpoint, capture, restore_worker
 from .config import GThinkerConfig
+from .errors import UnsupportedRuntimeFeature
 from .master import Master
 from .metrics import MetricsAccessors, MetricsRegistry
 from .runtime import (
@@ -164,11 +165,7 @@ def _seed_from_checkpoint(cluster: Cluster, ckpt: JobCheckpoint) -> None:
     for w in cluster.workers:
         w.aggregator.publish_global(ckpt.aggregator_global)
     for w, snap in zip(cluster.workers, ckpt.worker_snapshots):
-        w.set_spawn_cursor(snap.spawn_cursor)
-        w.set_outputs(snap.outputs)
-        for i, tsnap in enumerate(snap.tasks):
-            engine = w.engines[i % len(w.engines)]
-            engine.add_task(restore_task(tsnap))
+        restore_worker(w, snap)
 
 
 def _teardown(cluster: Cluster) -> None:
@@ -213,6 +210,13 @@ class ClusterRuntimeExecutor:
 
     def execute(self, request: JobRequest) -> JobResult:
         config = self.prepare_config(request.config)
+        if config.failure_plan is not None:
+            # The serial runtime's failure injection is abort_after_rounds;
+            # worker-kill plans need real worker processes to kill.
+            raise UnsupportedRuntimeFeature(
+                "config.failure_plan (worker-kill injection) requires "
+                "runtime='process'"
+            )
         cluster = build_cluster(request.app_factory, request.graph, config)
         if request.checkpoint is not None:
             _seed_from_checkpoint(cluster, request.checkpoint)
@@ -285,7 +289,10 @@ register_runtime(
 register_runtime(
     "process",
     _process_executor,
-    RuntimeCapabilities(protocol_checking=True),
+    RuntimeCapabilities(
+        checkpointing=True, failure_injection=True,
+        protocol_checking=True, resume=True,
+    ),
     replace=True,
 )
 
@@ -304,7 +311,7 @@ def _dispatch(
     wanted = []
     if checkpoint_path is not None:
         wanted.append("checkpointing")
-    if abort_after_rounds is not None:
+    if abort_after_rounds is not None or config.failure_plan is not None:
         wanted.append("failure_injection")
     if checkpoint is not None:
         wanted.append("resume")
@@ -349,10 +356,14 @@ def run_job(
     checkpoint_path:
         Where periodic checkpoints go when
         ``config.checkpoint_every_syncs > 0``.  Requires a runtime with
-        the ``checkpointing`` capability (built-in: serial only).
+        the ``checkpointing`` capability (built-ins: serial and process;
+        the process runtime checkpoints via its sync-barrier protocol).
     abort_after_rounds:
-        Failure injection for fault-tolerance tests.  Requires the
-        ``failure_injection`` capability (built-in: serial only).
+        Failure injection for fault-tolerance tests: abort after that
+        many scheduler rounds (serial) or master sync sweeps (process).
+        Requires the ``failure_injection`` capability (built-ins: serial
+        and process); ``config.failure_plan`` — deterministic worker
+        kills — additionally requires ``runtime="process"``.
 
     Raises
     ------
@@ -380,19 +391,27 @@ def resume_job(
     """Recover from a checkpoint and run the remainder of the job.
 
     Shares :func:`run_job`'s registry dispatch: any runtime with the
-    ``resume`` capability works (built-ins: serial, threaded, checked),
-    and unsupported combinations raise the same
+    ``resume`` capability works (built-ins: serial, threaded, checked,
+    process), and unsupported combinations raise the same
     :class:`~repro.core.errors.UnsupportedRuntimeFeature` run_job raises.
+    Shards are runtime-portable: a shard written by a killed
+    ``runtime="process"`` job resumes on the serial runtime and vice
+    versa.  When ``config.checkpoint_every_syncs > 0`` the resumed job
+    keeps checkpointing to the same ``checkpoint_path``.
     ``abort_after_rounds`` injects a failure mid-recovery for
-    fault-tolerance tests (serial only, as in run_job).
+    fault-tolerance tests (serial and process, as in run_job).
     """
     get_runtime(runtime)  # validate the name before touching the file
     ckpt = JobCheckpoint.load(checkpoint_path)
     config = config or GThinkerConfig(
         num_workers=ckpt.num_workers, compers_per_worker=ckpt.compers_per_worker
     )
+    continue_path = (
+        checkpoint_path if config.checkpoint_every_syncs > 0 else None
+    )
     return _dispatch(
         runtime, app_factory, graph, config,
+        checkpoint_path=continue_path,
         abort_after_rounds=abort_after_rounds,
         checkpoint=ckpt,
     )

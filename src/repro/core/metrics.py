@@ -195,6 +195,13 @@ class WorkerMemoryModel:
             self._local_table = num_bytes
         self._commit()
 
+    def add_local_table(self, num_bytes: int) -> None:
+        """Lazy-loading path (``Worker.load_shared``): charge one faulted
+        row at its trimmed size."""
+        with self._lock:
+            self._local_table += num_bytes
+        self._commit()
+
     def add_cache(self, num_bytes: int) -> None:
         with self._lock:
             self._cache += num_bytes
@@ -212,7 +219,16 @@ class WorkerMemoryModel:
             )
 
     def _commit(self) -> None:
+        with self._lock:
+            local = self._local_table
+            current = self.BASELINE_BYTES + local + self._cache + self._tasks
+        # local_table_bytes is a runtime-equivalence invariant: once every
+        # owned row is resident it must agree across eager (load_rows)
+        # and lazy (load_shared) loading for the same app and graph.
         self._metrics.record_max(
-            f"worker{self._worker_id}:peak_memory_bytes", self.current()
+            f"worker{self._worker_id}:local_table_bytes", local
         )
-        self._metrics.record_max("peak_memory_bytes", self.current())
+        self._metrics.record_max(
+            f"worker{self._worker_id}:peak_memory_bytes", current
+        )
+        self._metrics.record_max("peak_memory_bytes", current)

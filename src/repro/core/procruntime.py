@@ -1,4 +1,4 @@
-"""The ``runtime="process"`` backend: real CPU parallelism.
+"""The ``runtime="process"`` backend: real CPU parallelism, crash-safe.
 
 The paper's headline claim is *CPU-bound* execution; the threaded
 runtime cannot show it because the GIL serializes the mining work.  This
@@ -14,9 +14,10 @@ backend runs one OS process per worker:
 * a control plane of per-worker pipes carries the master protocol:
   periodic syncs (aggregator partials up, global value down, status
   snapshot for termination detection), master-coordinated steal
-  commands, and the final report (outputs + metrics snapshot), with each
-  worker's :class:`~repro.core.metrics.MetricsRegistry` merged into the
-  parent via ``merge_from`` at join time.
+  commands, sync-barrier checkpoints, and the final report (outputs +
+  metrics snapshot), with each worker's
+  :class:`~repro.core.metrics.MetricsRegistry` merged into the parent
+  via ``merge_from`` at join time.
 
 Termination mirrors :class:`~repro.core.master.Master`'s double
 snapshot: two consecutive syncs must observe every worker drained
@@ -24,18 +25,60 @@ snapshot: two consecutive syncs must observe every worker drained
 outgoing messages), a globally balanced ``sent == received`` message
 count, and an unchanged progress counter between the observations.
 
-Capabilities: protocol checking works (each process checks its own
-worker); checkpointing, failure injection and resume do not — the
-parent cannot quiesce-and-introspect workers it does not share memory
-with, and ``run_job``/``resume_job`` reject those combinations with
-:class:`~repro.core.errors.UnsupportedRuntimeFeature` before any process
-is spawned.
+Fault tolerance (paper §V-B)
+----------------------------
+
+This runtime supports the full capability set: **checkpointing**,
+**failure injection** and **resume**.
+
+*Checkpoints* are a sync-barrier protocol.  Every
+``checkpoint_every_syncs`` master sweeps the parent quiesces all workers
+(``"quiesce"`` — engines pause, only the comm service keeps stepping so
+in-transit messages drain), polls ``"qstatus"`` until the wire is
+*settled* — globally ``sum(sent) == sum(received)`` with zero buffered
+outgoing anywhere, which proves no message exists in any queue — then
+collects a :class:`~repro.core.checkpoint.WorkerSnapshot` per worker
+(``"checkpoint"``: spawn cursor, every in-memory and spilled task with
+its pull set, outputs, aggregator partial, transport counters) and
+resumes all workers with the freshly folded global aggregate
+(``"resume"``).  Snapshots are kept in memory as the rollback point and,
+when a ``checkpoint_path`` is given, written atomically as a
+:class:`~repro.core.checkpoint.JobCheckpoint` shard (same format as the
+serial runtime's — shards resume across runtimes).
+
+*Recovery* is a global rollback.  When any worker dies or times out on
+the control plane, the parent terminates the whole worker set, rebuilds
+fresh queues and pipes, and respawns every worker from the last barrier
+snapshot (or from scratch when none was taken): caches restart cold,
+restored tasks re-issue their pull sets, transport counters resume from
+the barrier's balanced values so termination stays sound, outputs are
+replaced by the snapshot's (work redone after the barrier cannot
+duplicate records), and the master aggregator rolls back to the barrier
+value so sum-style aggregates count redone work exactly once.
+Single-worker respawn would be unsound — in-transit messages addressed
+to the dead worker and the survivors' unanswered pulls are unrecoverable
+— so rollback is all-or-nothing.  Retries are bounded by
+``max_worker_restarts`` with exponential backoff
+(``worker_restart_backoff_s`` doubling per consecutive restart); a
+worker that *reported* an exception (an app/framework bug that would
+recur) raises :class:`~repro.core.errors.WorkerProcessError` with
+``recoverable=False`` and the original traceback chained, immediately.
+
+*Failure injection* is driven by
+:class:`~repro.core.config.FailurePlanConfig`: the selected worker
+``os._exit``\\ s — no error report, exactly what a machine loss looks
+like — at a deterministic trigger (n-th sync/steal command, n-th round
+observing a mid-spawn cursor or a non-empty spill list, or a seeded
+coin flip per sync).  Plans arm only in the job's first incarnation
+unless ``rearm=True``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
+import random
 import shutil
 import tempfile
 import time
@@ -50,7 +93,14 @@ from ..graph.io import ShardedGraphStore
 from ..net.message import TaskBatchTransfer
 from ..net.transport import ProcessTransport
 from .aggregator import GlobalAggregator
-from .errors import GThinkerError, WorkerProcessError
+from .checkpoint import JobCheckpoint, WorkerSnapshot, restore_worker, snapshot_worker
+from .config import FailurePlanConfig, GThinkerConfig
+from .errors import (
+    CheckpointError,
+    GThinkerError,
+    JobAbortedError,
+    WorkerProcessError,
+)
 from .metrics import MetricsRegistry
 from .runtime import JobRequest
 from .worker import Worker
@@ -60,8 +110,8 @@ __all__ = ["ProcessExecutor"]
 #: Idle backoff inside a worker process when a round does no work.
 _IDLE_SLEEP_S = 0.0005
 
-#: How long the parent waits for any single control-plane reply.
-_REPLY_TIMEOUT_S = 60.0
+#: How long `_send` drains a broken pipe looking for the error report.
+_ERROR_DRAIN_S = 1.0
 
 
 @dataclass
@@ -95,27 +145,100 @@ def _default_start_method() -> str:
 
 
 # ---------------------------------------------------------------------------
+# Failure injection (worker side)
+# ---------------------------------------------------------------------------
+
+
+class _FailureInjector:
+    """Kills this worker process per its :class:`FailurePlanConfig`.
+
+    Death is ``os._exit`` — no cleanup, no error report up the pipe —
+    so the parent observes exactly what a machine loss looks like.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FailurePlanConfig],
+        worker_id: int,
+        incarnation: int,
+    ) -> None:
+        self._plan = plan
+        self._worker_id = worker_id
+        self._counts: Dict[str, int] = {}
+        self.active = (
+            plan is not None
+            and (incarnation == 0 or plan.rearm)
+            and (plan.kill_worker is None or plan.kill_worker == worker_id)
+        )
+        # Incarnation perturbs the stream so a rearmed random plan does
+        # not replay the same kill schedule after every recovery.
+        self._rng = random.Random(
+            ((plan.seed if plan else 0) << 8) ^ worker_id ^ (incarnation * 7919)
+        )
+
+    def fire(self, event: str) -> None:
+        """Record one occurrence of ``event``; die if the plan says so."""
+        if not self.active:
+            return
+        plan = self._plan
+        if plan.when == "random":
+            if event == "sync" and self._rng.random() < plan.probability:
+                os._exit(plan.exit_code)
+            return
+        if event != plan.when:
+            return
+        count = self._counts.get(event, 0) + 1
+        self._counts[event] = count
+        if count == plan.at_count and (
+            plan.probability >= 1.0 or self._rng.random() < plan.probability
+        ):
+            os._exit(plan.exit_code)
+
+    def observe_round(self, worker: Worker) -> None:
+        """Round-boundary triggers: mid-spawn cursor, non-empty L_file."""
+        if not self.active:
+            return
+        when = self._plan.when
+        if when == "spawn":
+            if 0 < worker.spawn_cursor() < worker.num_local_vertices:
+                self.fire("spawn")
+        elif when == "spill":
+            if len(worker.l_file) > 0:
+                self.fire("spill")
+
+
+# ---------------------------------------------------------------------------
 # Worker process
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
+def _worker_main(
+    worker_id,
+    config,
+    app_factory,
+    csr_meta,
+    data_queues,
+    conn,
+    spill_root,
+    snapshot=None,
+    global_value=None,
+    incarnation=0,
+):
     """Entry point of one worker process.
 
     Steps its worker's components (comm service, comper engines, GC)
     round-robin — the per-machine layout of the serial runtime, but with
     every machine on its own core — and answers control commands from
-    the parent between rounds.
+    the parent between rounds.  The spill directory lives under a
+    parent-owned root, so a ``terminate()`` during recovery cannot leak
+    it.  While *quiesced* (checkpoint barrier) only the comm service
+    steps: pulls keep being served and responses delivered, but no new
+    work starts, so the wire drains to a provably empty state.
     """
     csr = None
     worker = None
-    spill_root: Optional[Path] = None
-    owns_spill = config.spill_dir is None
     try:
         csr = SharedCSR.attach(csr_meta)
-        spill_root = Path(config.spill_dir) if config.spill_dir else Path(
-            tempfile.mkdtemp(prefix=f"gthinker-spill-proc{worker_id}-")
-        )
         metrics = MetricsRegistry()
         transport = ProcessTransport(
             worker_id,
@@ -131,20 +254,36 @@ def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
             app_factory=app_factory,
             transport=transport,
             metrics=metrics,
-            spill_dir=spill_root,
+            spill_dir=Path(spill_root),
         )
         worker.load_shared(csr)
+        if snapshot is not None:
+            restore_worker(worker, snapshot)
+            # Counters resume from the barrier's balanced values; the
+            # fresh queues are empty, so sent==received still means
+            # "wire empty" to the termination detector.
+            transport.sent_count = snapshot.sent
+            transport.received_count = snapshot.received
+        if global_value is not None:
+            worker.aggregator.publish_global(global_value)
+        injector = _FailureInjector(config.failure_plan, worker_id, incarnation)
 
+        quiesced = False
         while True:
             worked = worker.comm.step()
-            for engine in worker.engines:
-                worked = engine.step() or worked
-            worked = worker.gc_step() or worked
+            if not quiesced:
+                for engine in worker.engines:
+                    worked = engine.step() or worked
+                worked = worker.gc_step() or worked
+                injector.observe_round(worker)
 
             while conn.poll(0):
                 cmd = conn.recv()
                 tag = cmd[0]
                 if tag == "sync":
+                    # Injected death *before* the reply: the master is
+                    # left waiting mid-protocol, like a machine loss.
+                    injector.fire("sync")
                     worker.aggregator.publish_global(cmd[1])
                     worker.update_memory_gauge()
                     transport.flush_outgoing()
@@ -162,6 +301,7 @@ def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
                         partial=worker.aggregator.take_partial(),
                     ))
                 elif tag == "steal":
+                    injector.fire("steal")
                     _tag, thief_id, max_tasks = cmd
                     payload_info = worker.l_file.take_payload()
                     if payload_info is None:
@@ -175,6 +315,27 @@ def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
                         ))
                         transport.flush_outgoing()
                     conn.send(("stolen", moved))
+                elif tag == "quiesce":
+                    quiesced = True
+                    conn.send(("quiesced", worker_id))
+                elif tag == "qstatus":
+                    transport.flush_outgoing()
+                    conn.send((
+                        "qstatus", worker_id,
+                        transport.sent_count, transport.received_count,
+                        worker.comm.pending_outgoing()
+                        + transport.pending_unflushed(),
+                    ))
+                elif tag == "checkpoint":
+                    snap = snapshot_worker(worker)
+                    snap.partial = worker.aggregator.take_partial()
+                    snap.sent = transport.sent_count
+                    snap.received = transport.received_count
+                    conn.send(snap)
+                elif tag == "resume":
+                    worker.aggregator.publish_global(cmd[1])
+                    quiesced = False
+                    conn.send(("resumed", worker_id))
                 elif tag == "stop":
                     worker.update_memory_gauge()
                     conn.send(_Final(
@@ -199,8 +360,6 @@ def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
     finally:
         if worker is not None:
             worker.cleanup()
-        if owns_spill and spill_root is not None:
-            shutil.rmtree(spill_root, ignore_errors=True)
         if csr is not None:
             csr.close()
         conn.close()
@@ -212,23 +371,122 @@ def _worker_main(worker_id, config, app_factory, csr_meta, data_queues, conn):
 
 
 class _ProcessMaster:
-    """Drives the control plane: syncs, steals, termination, shutdown."""
+    """Drives the control plane: syncs, steals, checkpoints, recovery.
 
-    def __init__(self, conns, procs, config, aggregator_prototype,
-                 join_timeout_s: float) -> None:
-        self.conns = conns
-        self.procs = procs
+    Owns the worker set (queues, pipes, processes) so it can tear the
+    whole set down and respawn it from the last barrier snapshot when a
+    worker is lost.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        config: GThinkerConfig,
+        app_factory,
+        csr_meta,
+        spill_root: Path,
+        join_timeout_s: float,
+        checkpoint_path: Optional[str] = None,
+        abort_after_rounds: Optional[int] = None,
+    ) -> None:
+        self.ctx = ctx
         self.config = config
-        self.global_aggregator = GlobalAggregator(aggregator_prototype)
+        self.app_factory = app_factory
+        self.csr_meta = csr_meta
+        self.spill_root = spill_root
         self.join_timeout_s = join_timeout_s
+        self.checkpoint_path = checkpoint_path
+        self.abort_after_rounds = abort_after_rounds
         self.metrics = MetricsRegistry()
+        self.global_aggregator = GlobalAggregator(app_factory().make_aggregator())
+        self.procs: List = []
+        self.conns: List = []
+        self.data_queues: List = []
+        self._incarnation = 0
+        self._epoch = 0
+        self._last_checkpoint: Optional[JobCheckpoint] = None
+        self._deadline = float("inf")
+
+    # -- worker-set lifecycle ---------------------------------------------
+
+    def start(self, checkpoint: Optional[JobCheckpoint] = None) -> None:
+        """Spawn the initial worker set, optionally seeded from a shard."""
+        self._last_checkpoint = checkpoint
+        if checkpoint is not None:
+            self._epoch = checkpoint.epoch
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
+        config = self.config
+        ckpt = self._last_checkpoint
+        # The aggregator rolls back with the workers: partials folded
+        # after the barrier belong to work that will be redone.
+        self.global_aggregator = GlobalAggregator(
+            self.app_factory().make_aggregator()
+        )
+        if ckpt is not None:
+            self.global_aggregator.set_value(ckpt.aggregator_global)
+        global_value = self.global_aggregator.value if ckpt is not None else None
+        # Fresh queues every incarnation: batches sent before the loss
+        # belong to the rolled-back epoch and must not be delivered.
+        self.data_queues = [self.ctx.Queue() for _ in range(config.num_workers)]
+        self.procs, self.conns = [], []
+        for wid in range(config.num_workers):
+            parent_conn, child_conn = self.ctx.Pipe()
+            snap = ckpt.worker_snapshots[wid] if ckpt is not None else None
+            proc = self.ctx.Process(
+                target=_worker_main,
+                args=(wid, config, self.app_factory, self.csr_meta,
+                      self.data_queues, child_conn, str(self.spill_root),
+                      snap, global_value, self._incarnation),
+                name=f"gthinker-worker-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.procs.append(proc)
+            self.conns.append(parent_conn)
+
+    def _terminate_workers(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for q in self.data_queues:
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self.procs, self.conns, self.data_queues = [], [], []
+
+    def _recover(self) -> None:
+        """Global rollback: respawn everything from the last barrier."""
+        self._terminate_workers()
+        self._incarnation += 1
+        self.metrics.add("ft:recoveries")
+        self._spawn_workers()
+
+    def shutdown(self) -> None:
+        self._terminate_workers()
 
     # -- plumbing ---------------------------------------------------------
 
-    def _recv(self, worker_id: int, timeout: float = _REPLY_TIMEOUT_S):
+    def _recv(self, worker_id: int, timeout: Optional[float] = None):
+        if timeout is None:
+            timeout = self.config.control_reply_timeout_s
         conn = self.conns[worker_id]
         deadline = time.monotonic() + timeout
-        while not conn.poll(0.05):
+        poll_s = 0.002
+        while not conn.poll(poll_s):
+            # Exponential backoff on the control plane: spin tightly for
+            # prompt replies, back off towards 100ms for slow ones.
+            poll_s = min(poll_s * 2, 0.1)
             if not self.procs[worker_id].is_alive():
                 # Exit may have raced a final message into the pipe.
                 if conn.poll(0.25):
@@ -237,26 +495,56 @@ class _ProcessMaster:
                     worker_id,
                     f"died with exit code {self.procs[worker_id].exitcode} "
                     f"without reporting an error",
+                    recoverable=True,
                 )
             if time.monotonic() > deadline:
                 raise WorkerProcessError(
-                    worker_id, f"no control-plane reply within {timeout}s"
+                    worker_id,
+                    f"no control-plane reply within {timeout}s",
+                    recoverable=True,
                 )
-        msg = conn.recv()
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerProcessError(
+                worker_id, "control pipe closed while receiving",
+                recoverable=True,
+            ) from exc
         if isinstance(msg, tuple) and msg and msg[0] == "error":
             _tag, wid, exc_type, tb = msg
-            raise WorkerProcessError(wid, f"{exc_type} raised:\n{tb}")
+            # The worker's own code raised: rolling back and redoing the
+            # same work would fail identically, so this is final.
+            raise WorkerProcessError(
+                wid, f"{exc_type} raised:\n{tb}", recoverable=False
+            )
         return msg
 
     def _send(self, worker_id: int, cmd) -> None:
         try:
             self.conns[worker_id].send(cmd)
-        except (BrokenPipeError, OSError):
-            # The worker died; surface its error report if it got one out.
-            self._recv(worker_id, timeout=1.0)
+        except (BrokenPipeError, OSError) as exc:
+            # The worker died.  Drain its pipe looking for the error
+            # report — a late _Status or other stale reply must not
+            # shadow the real traceback — and chain the pipe error.
+            conn = self.conns[worker_id]
+            deadline = time.monotonic() + _ERROR_DRAIN_S
+            while time.monotonic() < deadline:
+                try:
+                    if not conn.poll(0.05):
+                        continue
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    break
+                if isinstance(msg, tuple) and msg and msg[0] == "error":
+                    _tag, wid, exc_type, tb = msg
+                    raise WorkerProcessError(
+                        wid, f"{exc_type} raised:\n{tb}", recoverable=False
+                    ) from exc
+                # else: a stale pre-death reply; keep draining.
             raise WorkerProcessError(
-                worker_id, "control pipe closed unexpectedly"
-            )
+                worker_id, "control pipe closed unexpectedly",
+                recoverable=True,
+            ) from exc
 
     # -- protocol ---------------------------------------------------------
 
@@ -296,13 +584,85 @@ class _ProcessMaster:
             self.metrics.add("steal:batches")
             self.metrics.add("steal:tasks", moved)
 
-    def run(self) -> List[_Final]:
-        deadline = time.monotonic() + self.join_timeout_s
+    def _checkpoint(self) -> None:
+        """The sync-barrier checkpoint protocol (see module docstring)."""
+        n = len(self.conns)
+        for wid in range(n):
+            self._send(wid, ("quiesce",))
+        for wid in range(n):
+            self._recv(wid)  # ("quiesced", wid)
+        # Settle the wire: with engines paused, only in-transit pulls and
+        # responses remain; they drain in finitely many comm steps.  When
+        # globally sent == received with nothing buffered on any sender,
+        # no message exists in any queue (and every parked task has its
+        # responses delivered), so the snapshot set is closed.
+        while True:
+            replies = []
+            for wid in range(n):
+                self._send(wid, ("qstatus",))
+            for wid in range(n):
+                replies.append(self._recv(wid))
+            sent = sum(r[2] for r in replies)
+            received = sum(r[3] for r in replies)
+            pending = sum(r[4] for r in replies)
+            if sent == received and pending == 0:
+                break
+            if time.monotonic() > self._deadline:
+                raise GThinkerError(
+                    "checkpoint barrier did not settle before the job deadline"
+                )
+            time.sleep(0.001)
+        snaps: List[WorkerSnapshot] = []
+        for wid in range(n):
+            self._send(wid, ("checkpoint",))
+        for wid in range(n):
+            msg = self._recv(wid)
+            if not isinstance(msg, WorkerSnapshot):
+                raise WorkerProcessError(
+                    wid, f"expected a worker snapshot, got {type(msg).__name__}"
+                )
+            snaps.append(msg)
+        for snap in snaps:
+            # Fold the barrier partials now; clear them so a restore
+            # cannot double-apply what is already in aggregator_global.
+            self.global_aggregator.fold(snap.partial)
+            snap.partial = None
+        self._epoch += 1
+        ckpt = JobCheckpoint(
+            worker_snapshots=snaps,
+            aggregator_global=self.global_aggregator.value,
+            num_workers=n,
+            compers_per_worker=self.config.compers_per_worker,
+            epoch=self._epoch,
+        )
+        self._last_checkpoint = ckpt
+        if self.checkpoint_path:
+            ckpt.save(self.checkpoint_path)
+        self.metrics.add("ft:checkpoints")
+        value = self.global_aggregator.value
+        for wid in range(n):
+            self._send(wid, ("resume", value))
+        for wid in range(n):
+            self._recv(wid)  # ("resumed", wid)
+
+    def _run_to_completion(self) -> List[_Final]:
         prev_idle = False
         prev_progress = -1
+        sweeps = 0
         while True:
             statuses = self._sweep()
+            sweeps += 1
             self._plan_steals(statuses)
+            every = self.config.checkpoint_every_syncs
+            if every > 0 and sweeps % every == 0:
+                self._checkpoint()
+            if (self.abort_after_rounds is not None
+                    and sweeps >= self.abort_after_rounds):
+                # Checked after the checkpoint cadence so an aborted job
+                # leaves a shard behind for resume_job.
+                raise JobAbortedError(
+                    f"process job aborted after {sweeps} sync sweeps"
+                )
             idle = (
                 all(
                     s.tasks_in_memory == 0 and s.tasks_on_disk == 0
@@ -316,7 +676,7 @@ class _ProcessMaster:
             if idle and prev_idle and progress == prev_progress:
                 break
             prev_idle, prev_progress = idle, progress
-            if time.monotonic() > deadline:
+            if time.monotonic() > self._deadline:
                 raise GThinkerError(
                     f"process job exceeded {self.join_timeout_s}s"
                 )
@@ -336,6 +696,22 @@ class _ProcessMaster:
             self.global_aggregator.fold(msg.partial)
             finals.append(msg)
         return finals
+
+    def run(self) -> List[_Final]:
+        """Drive the job to completion, recovering lost workers."""
+        self._deadline = time.monotonic() + self.join_timeout_s
+        attempts = 0
+        while True:
+            try:
+                return self._run_to_completion()
+            except WorkerProcessError as exc:
+                attempts += 1
+                if not exc.recoverable or attempts > self.config.max_worker_restarts:
+                    raise
+                delay = self.config.worker_restart_backoff_s * (2 ** (attempts - 1))
+                if delay > 0:
+                    time.sleep(delay)
+                self._recover()
 
 
 # ---------------------------------------------------------------------------
@@ -363,6 +739,13 @@ class ProcessExecutor:
                 f"closure): {exc!r}"
             ) from exc
 
+        ckpt = request.checkpoint
+        if ckpt is not None and ckpt.num_workers != config.num_workers:
+            raise CheckpointError(
+                f"checkpoint was taken with {ckpt.num_workers} workers, "
+                f"job has {config.num_workers}"
+            )
+
         graph = request.graph
         if isinstance(graph, ShardedGraphStore):
             graph = graph.load_full_graph()
@@ -374,30 +757,24 @@ class ProcessExecutor:
         )
         started = time.perf_counter()
         csr = SharedCSR.from_graph(graph)
-        procs: List = []
-        conns: List = []
-        data_queues: List = []
+        # The parent owns the spill root: worker processes can be
+        # terminate()d mid-recovery, so they must not own tempdirs.
+        owns_spill = config.spill_dir is None
+        spill_root = Path(config.spill_dir) if config.spill_dir else Path(
+            tempfile.mkdtemp(prefix="gthinker-spill-proc-")
+        )
+        master = _ProcessMaster(
+            ctx=ctx,
+            config=config,
+            app_factory=app_factory,
+            csr_meta=csr.meta,
+            spill_root=spill_root,
+            join_timeout_s=self.join_timeout_s,
+            checkpoint_path=request.checkpoint_path,
+            abort_after_rounds=request.abort_after_rounds,
+        )
         try:
-            data_queues = [ctx.Queue() for _ in range(config.num_workers)]
-            for wid in range(config.num_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(wid, config, app_factory, csr.meta,
-                          data_queues, child_conn),
-                    name=f"gthinker-worker-{wid}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                procs.append(proc)
-                conns.append(parent_conn)
-
-            master = _ProcessMaster(
-                conns, procs, config,
-                aggregator_prototype=app_factory().make_aggregator(),
-                join_timeout_s=self.join_timeout_s,
-            )
+            master.start(checkpoint=ckpt)
             finals = master.run()
 
             merged = MetricsRegistry()
@@ -406,7 +783,7 @@ class ProcessExecutor:
             for final in sorted(finals, key=lambda f: f.worker_id):
                 merged.merge_from(MetricsRegistry.from_snapshot(final.metrics))
                 outputs.extend(final.outputs)
-            for proc in procs:
+            for proc in master.procs:
                 proc.join(timeout=10.0)
             return JobResult(
                 aggregate=master.global_aggregator.value,
@@ -417,15 +794,8 @@ class ProcessExecutor:
                 compers_per_worker=config.compers_per_worker,
             )
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5.0)
-            for q in data_queues:
-                try:
-                    q.cancel_join_thread()
-                    q.close()
-                except Exception:  # pragma: no cover - teardown best effort
-                    pass
+            master.shutdown()
+            if owns_spill:
+                shutil.rmtree(spill_root, ignore_errors=True)
             csr.close()
             csr.unlink()

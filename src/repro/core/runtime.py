@@ -6,7 +6,10 @@ services, comper engines, GC, master — only the interleaving differs):
 * :class:`SerialRuntime` — steps every component round-robin in one
   thread.  Deterministic; the default for tests and the substrate the
   checkpointing support relies on (components are quiescent between
-  steps).
+  steps).  The process backend reaches the same quiescent state across
+  process boundaries with its sync-barrier checkpoint protocol (see
+  :mod:`repro.core.procruntime`), so checkpointing, failure injection
+  and resume are available on both.
 * :class:`ThreadedRuntime` — one OS thread per comper plus one comm/GC
   thread per worker, mirroring the paper's thread layout.  Exercises the
   real lock protocols (bucketed cache, concurrent containers).  The GIL

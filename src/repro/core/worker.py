@@ -203,6 +203,12 @@ class Worker:
         access, memoized in ``_local`` — so over a job the worker touches
         at most its own partition, never the whole graph.  Untrimmed rows
         stay zero-copy views into the shared ``indices`` array.
+
+        The local-table memory gauge is charged lazily as rows fault in
+        (at their *trimmed* size, in :meth:`_entry`) so it reports the
+        same bytes :meth:`load_rows` charges eagerly — charging untrimmed
+        CSR degrees here made ``peak_memory_bytes`` disagree between the
+        process and serial/threaded runtimes for any app with a Trimmer.
         """
         owned = [
             int(v) for v in csr.vertex_ids.tolist()
@@ -211,10 +217,7 @@ class Worker:
         self._shared = csr
         self._shared_owned = frozenset(owned)
         self._spawn_order = owned  # vertex_ids are sorted ascending
-        degrees = csr.degree_array()
-        self.memory.set_local_table(int(sum(
-            24 + 8 * int(degrees[csr.position_of(v)]) for v in owned
-        )))
+        self.memory.set_local_table(0)
 
     # -- vertex access ----------------------------------------------------------
 
@@ -237,6 +240,7 @@ class Worker:
                 adj = kernels.as_ids_array(self._trimmer.trim(v, label, adj))
             entry = (label, adj)
             self._local[v] = entry
+            self.memory.add_local_table(24 + adj.nbytes)
         return entry
 
     def local_view(self, v: int) -> Optional[VertexView]:

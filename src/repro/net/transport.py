@@ -187,6 +187,12 @@ class ProcessTransport:
         self._max_batch = max(1, max_batch_messages)
         self._wire_format = wire_format
         self._buffers: List[List[Message]] = [[] for _ in queues]
+        #: Messages decoded from an inbox batch but beyond a caller's
+        #: ``limit`` — returned first by the next :meth:`poll`.  They do
+        #: not count as received until actually handed to the caller, so
+        #: the sent/received termination arithmetic still sees them as
+        #: in flight.
+        self._overflow: Deque[Message] = deque()
         self.sent_count = 0
         self.received_count = 0
 
@@ -238,6 +244,9 @@ class ProcessTransport:
             )
         self.flush_outgoing()
         out: List[Message] = []
+        overflow = self._overflow
+        while overflow and (not limit or len(out) < limit):
+            out.append(overflow.popleft())
         inbox = self._queues[self._worker_id]
         while not limit or len(out) < limit:
             try:
@@ -246,8 +255,18 @@ class ProcessTransport:
                 break
             if isinstance(batch, (bytes, bytearray)):
                 # Magic-sniffing decode: binary frames or a pickled batch.
-                out.extend(wire.decode_batch(bytes(batch)))
+                decoded = wire.decode_batch(bytes(batch))
             else:
-                out.extend(batch)  # legacy raw-list payload
+                decoded = list(batch)  # legacy raw-list payload
+            if limit:
+                # A decoded batch may overshoot ``limit`` (batches are
+                # sender-sized); park the excess for the next poll so
+                # the Transport.poll contract — never more than
+                # ``limit`` messages — holds here too.
+                room = limit - len(out)
+                out.extend(decoded[:room])
+                overflow.extend(decoded[room:])
+            else:
+                out.extend(decoded)
         self.received_count += len(out)
         return out

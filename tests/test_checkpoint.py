@@ -53,6 +53,22 @@ class TestTaskSnapshots:
         assert back.pending_pulls() == (5,)
         assert back.pulls_in_flight == []
 
+    def test_roundtrip_mixed_inflight_and_queued_pulls(self):
+        """S1 regression: a task can hold in-flight pulls *and* freshly
+        requested ones at once; the snapshot must be their union, not
+        just the in-flight set."""
+        t = Task()
+        t.pull(5)
+        t.pull(6)
+        t.pulls_in_flight = t.take_pulls()
+        t.pull(6)  # re-requested while still in flight: dedup
+        t.pull(7)  # new pull queued behind the in-flight ones
+        snap = snapshot_task(t)
+        assert snap.pulls == (5, 6, 7)
+        back = restore_task(snap)
+        assert back.pending_pulls() == (5, 6, 7)
+        assert back.pulls_in_flight == []
+
 
 class TestCheckpointFile:
     def test_save_load_roundtrip(self, tmp_path):
@@ -86,6 +102,59 @@ class TestCheckpointFile:
         bad.write_bytes(pickle.dumps({"not": "a checkpoint"}))
         with pytest.raises(CheckpointError):
             JobCheckpoint.load(bad)
+
+    def test_epoch_and_transport_counters_roundtrip(self, tmp_path):
+        """The process runtime's barrier fields survive save/load."""
+        ckpt = JobCheckpoint(
+            worker_snapshots=[WorkerSnapshot(spawn_cursor=1, sent=17,
+                                             received=17)],
+            aggregator_global=0,
+            num_workers=1,
+            compers_per_worker=1,
+            epoch=7,
+        )
+        path = tmp_path / "epoch.ckpt"
+        ckpt.save(path)
+        back = JobCheckpoint.load(path)
+        assert back.epoch == 7
+        assert back.worker_snapshots[0].sent == 17
+        assert back.worker_snapshots[0].received == 17
+
+
+class TestSnapshotNonDestructive:
+    """S5 regression: capturing a worker must not reorder B_task or
+    perturb any container metric."""
+
+    def test_ready_buffer_get_batch_put_roundtrip_is_fifo(self):
+        from repro.core.containers import ReadyBuffer
+
+        buf = ReadyBuffer()
+        for i in range(7):
+            buf.put(Task(context=i))
+        drained = buf.get_batch(limit=10**9)
+        for t in drained:
+            buf.put(t)
+        assert [t.context for t in buf.get_batch(limit=10**9)] == list(range(7))
+
+    def test_snapshot_worker_preserves_b_task_and_metrics(self, graph):
+        from repro.core import build_cluster
+        from repro.core.checkpoint import snapshot_worker
+
+        cluster = build_cluster(TriangleCountComper, graph, cfg())
+        w = cluster.workers[0]
+        engine = w.engines[0]
+        for i in range(5):
+            engine.b_task.put(Task(context=("probe", i)))
+        before = cluster.metrics.snapshot()
+        snap = snapshot_worker(w)
+        assert cluster.metrics.snapshot() == before
+        # The buffered tasks were captured...
+        probed = [ts.context for ts in snap.tasks
+                  if isinstance(ts.context, tuple) and ts.context[0] == "probe"]
+        assert probed == [("probe", i) for i in range(5)]
+        # ...and are still buffered, in their original FIFO order.
+        assert [t.context for t in engine.b_task.get_batch(limit=10**9)] == \
+            [("probe", i) for i in range(5)]
 
 
 def _abort_then_resume(app_factory, graph, tmp_path, rounds):

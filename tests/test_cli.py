@@ -124,3 +124,37 @@ def test_check_command_verbose(capsys):
     assert main(["check", "--seeds", "1", "--vertices", "25"]) == 0
     out = capsys.readouterr().out
     assert "ok   tc seed=0" in out
+
+
+# -- fault-tolerance flags -----------------------------------------------
+
+
+def test_checkpoint_dir_writes_shard(edge_file, er_graph, tmp_path, capsys):
+    ckdir = tmp_path / "ckpts"
+    assert main(["tc", "--graph", edge_file,
+                 "--checkpoint-dir", str(ckdir),
+                 "--checkpoint-every", "1"]) == 0
+    assert (ckdir / "tc.ckpt").exists()
+    assert str(count_triangles(er_graph)) in capsys.readouterr().out
+
+
+def test_resume_from_checkpoint_dir(edge_file, er_graph, tmp_path, capsys):
+    ckdir = tmp_path / "ckpts"
+    assert main(["tc", "--graph", edge_file,
+                 "--checkpoint-dir", str(ckdir),
+                 "--checkpoint-every", "1"]) == 0
+    capsys.readouterr()
+    assert main(["tc", "--graph", edge_file,
+                 "--checkpoint-dir", str(ckdir), "--resume"]) == 0
+    assert str(count_triangles(er_graph)) in capsys.readouterr().out
+
+
+def test_resume_requires_checkpoint_dir(edge_file):
+    with pytest.raises(SystemExit, match="checkpoint-dir"):
+        main(["tc", "--graph", edge_file, "--resume"])
+
+
+def test_resume_rejects_simulate(edge_file, tmp_path):
+    with pytest.raises(SystemExit, match="simulate"):
+        main(["tc", "--graph", edge_file, "--resume", "--simulate",
+              "--checkpoint-dir", str(tmp_path)])

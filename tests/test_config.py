@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.config import DiskModel, GThinkerConfig, MachineModel, NetworkModel
+from repro.core.config import (
+    DiskModel,
+    FailurePlanConfig,
+    GThinkerConfig,
+    MachineModel,
+    NetworkModel,
+)
 
 
 def test_defaults_valid():
@@ -33,10 +39,38 @@ def test_with_updates_returns_copy():
     ("cache_overflow_alpha", -0.1),
     ("cache_buckets", 0),
     ("decompose_threshold", 1),
+    ("max_worker_restarts", -1),
+    ("worker_restart_backoff_s", -0.1),
+    ("control_reply_timeout_s", 0.0),
 ])
 def test_invalid_values_rejected(field, value):
     with pytest.raises(ValueError):
         GThinkerConfig(**{field: value})
+
+
+@pytest.mark.parametrize("kw", [
+    dict(kill_worker=0, when="never"),          # unknown event
+    dict(when="spawn"),                         # kill_worker required
+    dict(kill_worker=-1, when="sync"),          # negative worker id
+    dict(kill_worker=0, when="sync", at_count=0),
+    dict(kill_worker=0, when="sync", probability=0.0),
+    dict(kill_worker=0, when="sync", probability=1.5),
+])
+def test_invalid_failure_plans_rejected(kw):
+    with pytest.raises(ValueError):
+        FailurePlanConfig(**kw)
+
+
+def test_random_failure_plan_needs_no_kill_worker():
+    plan = FailurePlanConfig(when="random", probability=0.5, seed=9)
+    assert plan.kill_worker is None
+
+
+def test_failure_plan_worker_id_checked_against_num_workers():
+    plan = FailurePlanConfig(kill_worker=5, when="sync")
+    with pytest.raises(ValueError):
+        GThinkerConfig(num_workers=2, failure_plan=plan)
+    GThinkerConfig(num_workers=6, failure_plan=plan)  # in range: fine
 
 
 def test_network_transfer_time():

@@ -150,6 +150,21 @@ def test_process_aggregator_sync_heavy_config():
     assert len(res.aggregate) == len(max_clique_reference(g))
 
 
+def test_process_local_table_bytes_match_serial(graph):
+    """S4 regression: the process runtime faults T_local rows in lazily,
+    but by job end every owned row has been materialized, so each
+    worker's trimmed local-table footprint must equal the serial
+    runtime's (which loads eagerly)."""
+    serial = run_job(MaxCliqueComper, graph, cfg(num_workers=2),
+                     runtime="serial")
+    process = run_job(MaxCliqueComper, graph, cfg(num_workers=2),
+                      runtime="process")
+    for wid in range(2):
+        key = f"max:worker{wid}:local_table_bytes"
+        assert serial.metrics.get(key, 0) > 0
+        assert process.metrics.get(key) == serial.metrics.get(key), key
+
+
 def test_process_merges_per_worker_metrics(graph):
     res = run_job(TriangleCountComper, graph, cfg(num_workers=2),
                   runtime="process")

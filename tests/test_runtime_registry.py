@@ -52,7 +52,10 @@ def test_capability_matrix_shape():
         assert set(matrix[name]) == features
     assert matrix["serial"]["checkpointing"]
     assert matrix["serial"]["failure_injection"]
-    assert not matrix["process"]["resume"]
+    # The process runtime is fully fault-tolerant: sync-barrier
+    # checkpoints, worker-kill injection, resume from shards.
+    for feature in features:
+        assert matrix["process"][feature], feature
     assert not matrix["threaded"]["checkpointing"]
 
 
@@ -83,7 +86,7 @@ def test_error_message_lists_registered_runtimes(graph):
         run_job(TriangleCountComper, graph, cfg(), runtime="typo")
 
 
-@pytest.mark.parametrize("runtime", ["threaded", "checked", "process"])
+@pytest.mark.parametrize("runtime", ["threaded", "checked"])
 def test_checkpointing_rejected_uniformly(graph, runtime):
     with pytest.raises(UnsupportedRuntimeFeature, match="checkpointing"):
         run_job(TriangleCountComper, graph,
@@ -91,16 +94,29 @@ def test_checkpointing_rejected_uniformly(graph, runtime):
                 checkpoint_path="/tmp/unused.ckpt")
 
 
-@pytest.mark.parametrize("runtime", ["threaded", "checked", "process"])
+@pytest.mark.parametrize("runtime", ["threaded", "checked"])
 def test_failure_injection_rejected_uniformly(graph, runtime):
     with pytest.raises(UnsupportedRuntimeFeature, match="failure_injection"):
         run_job(TriangleCountComper, graph, cfg(), runtime=runtime,
                 abort_after_rounds=3)
 
 
-def test_resume_rejected_on_process(tmp_path, graph):
-    """resume_job shares run_job's dispatch: the process runtime lacks
-    the resume capability and must fail before any process spawns."""
+def test_failure_plan_rejected_off_process(graph):
+    """A worker-kill plan needs worker processes: threaded/checked reject
+    via the capability gate, serial rejects explicitly (its
+    failure_injection capability covers abort_after_rounds only)."""
+    from repro.core import FailurePlanConfig
+
+    plan = FailurePlanConfig(kill_worker=0, when="sync")
+    for runtime in ("serial", "threaded", "checked"):
+        with pytest.raises(UnsupportedRuntimeFeature):
+            run_job(TriangleCountComper, graph, cfg(failure_plan=plan),
+                    runtime=runtime)
+
+
+def test_resume_works_on_process(tmp_path, graph):
+    """resume_job shares run_job's dispatch: the process runtime now has
+    the resume capability and restarts a job from a serial shard."""
     ckpt = tmp_path / "job.ckpt"
     with pytest.raises(Exception):
         run_job(TriangleCountComper, graph,
@@ -108,9 +124,9 @@ def test_resume_rejected_on_process(tmp_path, graph):
                 runtime="serial", checkpoint_path=str(ckpt),
                 abort_after_rounds=4)
     assert ckpt.exists()
-    with pytest.raises(UnsupportedRuntimeFeature, match="resume"):
-        resume_job(TriangleCountComper, graph, str(ckpt), cfg(),
-                   runtime="process")
+    result = resume_job(TriangleCountComper, graph, str(ckpt), cfg(),
+                        runtime="process")
+    assert result.aggregate == count_triangles(graph)
 
 
 def test_resume_works_on_threaded_and_checked(tmp_path, graph):

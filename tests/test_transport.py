@@ -102,3 +102,52 @@ def test_untimed_delivers_immediately_regardless_of_now():
     t = Transport(2)
     t.send(RequestBatch(src=0, dst=1), now=123.0)
     assert len(t.poll(1)) == 1
+
+
+class TestProcessTransportPollLimit:
+    """S2 regression: ProcessTransport.poll(limit=N) must honour the
+    Transport.poll contract (never more than N messages) even though
+    inbox batches are sender-sized, and its received_count must only
+    count messages actually handed to the caller."""
+
+    def _pair(self):
+        import queue
+
+        queues = [queue.Queue(), queue.Queue()]
+        from repro.net.transport import ProcessTransport
+
+        sender = ProcessTransport(1, queues)
+        receiver = ProcessTransport(0, queues)
+        return sender, receiver
+
+    def test_limit_never_exceeded(self):
+        sender, receiver = self._pair()
+        for i in range(5):
+            sender.send(RequestBatch(src=1, dst=0, vertex_ids=[i]))
+        sender.flush_outgoing()  # one 5-message batch on the wire
+        first = receiver.poll(0, limit=2)
+        assert len(first) == 2
+        assert receiver.received_count == 2
+
+    def test_overflow_drains_fifo_and_counts_settle(self):
+        sender, receiver = self._pair()
+        for i in range(5):
+            sender.send(RequestBatch(src=1, dst=0, vertex_ids=[i]))
+        sender.flush_outgoing()
+        got = receiver.poll(0, limit=2)
+        got += receiver.poll(0, limit=2)   # overflow first, still capped
+        got += receiver.poll(0)            # unlimited drains the rest
+        assert [m.vertex_ids for m in got] == [[i] for i in range(5)]
+        assert receiver.received_count == 5 == sender.sent_count
+
+    def test_overflow_served_before_newer_batches(self):
+        sender, receiver = self._pair()
+        for i in range(3):
+            sender.send(RequestBatch(src=1, dst=0, vertex_ids=[i]))
+        sender.flush_outgoing()
+        assert len(receiver.poll(0, limit=1)) == 1  # 2 parked in overflow
+        for i in range(3, 5):
+            sender.send(RequestBatch(src=1, dst=0, vertex_ids=[i]))
+        sender.flush_outgoing()
+        rest = receiver.poll(0)
+        assert [m.vertex_ids for m in rest] == [[1], [2], [3], [4]]
