@@ -1,0 +1,197 @@
+"""Pull-path benchmark: ``runtime='process'`` vs serial on graphs the
+cache actually matters for (``BENCH_pullpath.json``).
+
+Before the bulk pull path (per-vertex cache ops, per-vertex responses,
+fixed idle sleeps) the process runtime ran MCF at n>=5k at ~0.27x the
+serial wall clock on a single core.  This benchmark is the regression
+gate for the batched path: dedup'd request batches, struct-of-arrays
+responses, bucket-lock amortization, and wake-on-work scheduling.
+
+Protocol
+--------
+* MCF (maximum clique) and TC (triangle count) on Erdos-Renyi graphs
+  with n >= 5k at several densities.
+* Serial and process runs are *interleaved* (s, p, s, p, ...) so slow
+  drift in machine load hits both runtimes equally; each wall time is
+  the best of k rounds (scheduler jitter only ever adds time).
+* Each runtime uses its best single-host configuration: the process
+  runtime uses one worker per spare core (one worker total on 1-2 CPU
+  hosts, where any speedup must come from overhead elimination alone).
+* Answers are checked against the serial run: exact equality for TC,
+  clique *size* for MCF (distinct maximum cliques of equal size are
+  all correct answers).
+
+The JSON report carries a top-level ``speedup_vs_serial.process``
+(the best MCF speedup across the measured n>=5k graphs) plus the
+pull-path evidence counters from one process run.  Exit status is
+non-zero if that headline speedup is < 1.0 or any answer differs —
+the CI perf-smoke gate.
+
+Run::
+
+    python benchmarks/bench_pullpath.py [--quick] [--output PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import MaxCliqueComper, TriangleCountComper
+from repro.core import GThinkerConfig, run_job
+from repro.graph import erdos_renyi
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pullpath.json"
+
+#: Pull-path evidence counters copied into the report from a process run.
+EVIDENCE_KEYS = (
+    "cache:bucket_lock_acquisitions",
+    "cache:hits",
+    "cache:miss_first",
+    "comm:requests_deduped",
+    "comm:requests_served",
+    "ipc:batches",
+    "ipc:payload_bytes",
+    "steal:tasks",
+    "time:comm_flush_s",
+    "time:comm_serve_s",
+    "time:comm_land_s",
+)
+
+APPS = {
+    "mcf": MaxCliqueComper,
+    "tc": TriangleCountComper,
+}
+
+
+def _config(num_workers: int, n: int) -> GThinkerConfig:
+    """Best single-host pull-path configuration for an n-vertex graph."""
+    return GThinkerConfig(
+        num_workers=num_workers,
+        compers_per_worker=1,
+        task_batch_size=64,
+        cache_capacity=max(4 * n, 4096),  # hold the working set
+        cache_buckets=64,
+        decompose_threshold=100,
+    )
+
+
+def _process_workers() -> int:
+    """One worker per spare core; a single worker on 1-2 CPU hosts."""
+    cores = os.cpu_count() or 1
+    return 1 if cores < 4 else 2
+
+
+def _answer(app: str, result) -> int:
+    if app == "mcf":
+        return len(result.aggregate or ())
+    return int(result.aggregate)
+
+
+def bench_workload(app: str, n: int, avg_deg: int, seed: int,
+                   rounds: int) -> dict:
+    graph = erdos_renyi(n, avg_deg / (n - 1), seed=seed)
+    comper = APPS[app]
+    serial_cfg = _config(num_workers=1, n=n)
+    process_cfg = _config(num_workers=_process_workers(), n=n)
+
+    walls = {"serial": float("inf"), "process": float("inf")}
+    answers = {}
+    evidence = {}
+    for _ in range(rounds):
+        for runtime, cfg in (("serial", serial_cfg), ("process", process_cfg)):
+            started = time.perf_counter()
+            result = run_job(comper, graph, cfg, runtime=runtime)
+            walls[runtime] = min(walls[runtime],
+                                 time.perf_counter() - started)
+            answers[runtime] = _answer(app, result)
+            if runtime == "process":
+                evidence = {k: result.metrics.get(k, 0)
+                            for k in EVIDENCE_KEYS}
+
+    speedup = walls["serial"] / walls["process"]
+    row = {
+        "app": app,
+        "graph": {"model": "erdos_renyi", "n": n, "avg_deg": avg_deg,
+                  "p": round(avg_deg / (n - 1), 6), "seed": seed,
+                  "num_edges": graph.num_edges},
+        "rounds": rounds,
+        "serial_wall_s": round(walls["serial"], 4),
+        "process_wall_s": round(walls["process"], 4),
+        "speedup_vs_serial": round(speedup, 3),
+        "answers": answers,
+        "answers_equal": answers["serial"] == answers["process"],
+        "process_metrics": evidence,
+    }
+    print(f"{app} n={n} deg={avg_deg}: serial={walls['serial']:.3f}s "
+          f"process={walls['process']:.3f}s speedup={speedup:.2f}x "
+          f"answers_equal={row['answers_equal']}", flush=True)
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="pull-path benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graphs / fewer rounds (CI)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        grid = [(6000, 40, 42)]
+        rounds = 3
+    else:
+        grid = [(6000, 40, 42), (12000, 10, 42), (12000, 20, 42),
+                (12000, 40, 42)]
+        rounds = 5
+
+    rows = []
+    for app in ("mcf", "tc"):
+        for n, avg_deg, seed in grid:
+            rows.append(bench_workload(app, n, avg_deg, seed, rounds))
+
+    mcf_rows = [r for r in rows if r["app"] == "mcf"]
+    headline = max(mcf_rows, key=lambda r: r["speedup_vs_serial"])
+    answers_equal = all(r["answers_equal"] for r in rows)
+    report = {
+        "benchmark": "pull_path",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "process_workers": _process_workers(),
+        "speedup_vs_serial": {"process": headline["speedup_vs_serial"]},
+        "headline": {"app": headline["app"],
+                     "graph": headline["graph"],
+                     "speedup_vs_serial": headline["speedup_vs_serial"]},
+        "answers_equal": answers_equal,
+        "workloads": rows,
+    }
+    with open(args.output, "w", encoding="ascii") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"headline: mcf n={headline['graph']['n']} "
+          f"deg={headline['graph']['avg_deg']} "
+          f"speedup={headline['speedup_vs_serial']}x")
+    print(f"wrote {args.output}")
+
+    ok = True
+    if report["speedup_vs_serial"]["process"] < 1.0:
+        print(f"FAIL: process runtime slower than serial on MCF "
+              f"({report['speedup_vs_serial']['process']}x < 1.0x)")
+        ok = False
+    if not answers_equal:
+        bad = [r for r in rows if not r["answers_equal"]]
+        for r in bad:
+            print(f"FAIL: answers differ for {r['app']} "
+                  f"n={r['graph']['n']} deg={r['graph']['avg_deg']}: "
+                  f"{r['answers']}")
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,11 @@ import threading
 from typing import Dict
 
 from ..core.errors import ProtocolViolation
-from ..core.vertex_cache import RequestOutcome, VertexCache
+from ..core.vertex_cache import (
+    BatchRequestOutcome,
+    RequestOutcome,
+    VertexCache,
+)
 from .guards import SingleWriterGuard
 
 __all__ = ["CheckedVertexCache"]
@@ -146,6 +150,39 @@ class CheckedVertexCache(VertexCache):
             super().release(v, task_id)
             self._check_balance(v)
             self._check_bucket(v)
+
+    # Bulk ops decompose into the checked per-vertex operations so every
+    # batch element passes through the ledger and invariant checks.  The
+    # one-lock-per-bucket optimization is deliberately *not* taken here:
+    # the checker's job is semantics, and the decomposition is exactly
+    # the observational-equivalence contract the property tests assert.
+
+    def request_batch(self, vertices, task_id: int) -> BatchRequestOutcome:
+        with self._check_lock:
+            hits = 0
+            duplicates = 0
+            to_send = []
+            for v in vertices:
+                outcome = self.request(v, task_id)
+                if outcome.status == RequestOutcome.HIT:
+                    hits += 1
+                elif outcome.status == RequestOutcome.MISS_SEND:
+                    to_send.append(v)
+                else:
+                    duplicates += 1
+            return BatchRequestOutcome(hits, to_send, duplicates)
+
+    def insert_responses(self, rows):
+        with self._check_lock:
+            return [
+                (int(v), self.insert_response(v, label, adj))
+                for v, label, adj in rows
+            ]
+
+    def release_batch(self, vertices, task_id: int = -1) -> None:
+        with self._check_lock:
+            for v in vertices:
+                self.release(v, task_id)
 
     def get_locked(self, v: int, task_id: int = -1):
         with self._check_lock:

@@ -5,13 +5,33 @@ Compers append vertex pulls here; the service flushes them as batched
 batching to combat round-trip time), answers incoming requests from the
 local vertex table, and lands incoming responses in the vertex cache,
 notifying the pending tasks of the owning compers.
+
+The pull path is batch-first end to end:
+
+* **queueing** dedups per destination — distinct tasks on different
+  compers can ask for the same remote vertex in one flush window; only
+  the first copy travels (``comm:requests_deduped`` counts the rest);
+* **serving** answers a whole request batch as one struct-of-arrays
+  :class:`~repro.net.message.ResponseBatch` (labels/degrees gathered
+  into int64 arrays, all adjacency rows concatenated with a single
+  ``np.concatenate``) so the GTWIRE1 encoder can dump it without a
+  per-vertex loop;
+* **landing** inserts a whole response batch through
+  :meth:`~repro.core.vertex_cache.VertexCache.insert_responses`, one
+  bucket-lock acquisition per touched bucket.
+
+``time:comm_flush_s`` / ``time:comm_serve_s`` / ``time:comm_land_s``
+timers attribute wall time to the three phases.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
 
 from ..net.message import Message, RequestBatch, ResponseBatch, TaskBatchTransfer
 from .containers import comper_of_task_id
@@ -19,9 +39,7 @@ from .errors import GThinkerError, TaskError
 
 __all__ = ["CommService"]
 
-#: Cap on vertices per response batch so one huge request batch does not
-#: produce one giant message (mirrors MTU-ish chunking).
-RESPONSE_CHUNK = 4096
+_EMPTY_ROW = np.empty(0, dtype=np.int64)
 
 
 class CommService:
@@ -31,16 +49,55 @@ class CommService:
         self.worker = worker
         self._lock = threading.Lock()
         self._outgoing: Dict[int, List[int]] = defaultdict(list)
+        # Per-destination membership of the *unflushed* buffer, for
+        # dedup.  Cleared with the buffer at flush time: once a request
+        # is on the wire the R-table is what suppresses re-requests.
+        self._outgoing_sets: Dict[int, Set[int]] = defaultdict(set)
         self._bytes_served = 0
+        cfg = worker.config
+        #: Cap on vertices per response batch so one huge request batch
+        #: does not produce one giant message (MTU-ish chunking).
+        self._response_chunk = cfg.response_chunk
+        self._bulk = cfg.bulk_cache_ops
 
     # -- comper-side -------------------------------------------------------
 
     def queue_request(self, v: int) -> None:
-        """Append a vertex pull for batched transmission."""
+        """Append a vertex pull for batched transmission (dedup'd)."""
         dst = self.worker.owner_of(v)
         with self._lock:
-            self._outgoing[dst].append(v)
-        self.worker.metrics.add("comm:requests_queued")
+            pending = self._outgoing_sets[dst]
+            if v in pending:
+                duplicate = True
+            else:
+                duplicate = False
+                pending.add(v)
+                self._outgoing[dst].append(v)
+        if duplicate:
+            self.worker.metrics.add("comm:requests_deduped")
+        else:
+            self.worker.metrics.add("comm:requests_queued")
+
+    def queue_requests(self, vertices: Sequence[int]) -> None:
+        """Bulk :meth:`queue_request`: one lock acquisition per call."""
+        if not vertices:
+            return
+        queued = 0
+        deduped = 0
+        with self._lock:
+            for v in vertices:
+                dst = self.worker.owner_of(v)
+                pending = self._outgoing_sets[dst]
+                if v in pending:
+                    deduped += 1
+                    continue
+                pending.add(v)
+                self._outgoing[dst].append(v)
+                queued += 1
+        if queued:
+            self.worker.metrics.add("comm:requests_queued", queued)
+        if deduped:
+            self.worker.metrics.add("comm:requests_deduped", deduped)
 
     def pending_outgoing(self) -> int:
         with self._lock:
@@ -61,12 +118,16 @@ class CommService:
         return worked or bool(messages)
 
     def _flush(self, now: float) -> bool:
+        t0 = time.perf_counter()
         with self._lock:
             batches = {dst: vs for dst, vs in self._outgoing.items() if vs}
             self._outgoing.clear()
+            self._outgoing_sets.clear()
         for dst, vertex_ids in batches.items():
             msg = RequestBatch(src=self.worker.worker_id, dst=dst, vertex_ids=vertex_ids)
             self.worker.transport.send(msg, now=now)
+        if batches:
+            self.worker.metrics.add("time:comm_flush_s", time.perf_counter() - t0)
         return bool(batches)
 
     def _dispatch(self, msg: Message, now: float) -> None:
@@ -98,28 +159,62 @@ class CommService:
             ) from exc
 
     def _serve_requests(self, msg: RequestBatch, now: float) -> None:
-        """Answer a pull batch from the local vertex table."""
-        out: List = []
-        for v in msg.vertex_ids:
-            label, adj = self.worker.local_entry(v)
-            out.append((v, label, adj))
-            if len(out) >= RESPONSE_CHUNK:
-                self.worker.transport.send(
-                    ResponseBatch(src=self.worker.worker_id, dst=msg.src, vertices=out),
-                    now=now,
-                )
-                out = []
-        if out:
+        """Answer a pull batch from the local vertex table.
+
+        Duplicate vertex ids in the batch (possible when the requester
+        ran without queue-side dedup, or mixed batches meet) are served
+        once.  The reply is built structure-of-arrays: one label/degree
+        gather plus a single ``np.concatenate`` over the T_local row
+        views — the GTWIRE1 encoder then ships it without touching the
+        rows again.
+        """
+        t0 = time.perf_counter()
+        ids = msg.vertex_ids
+        if len(set(ids)) != len(ids):
+            unique = list(dict.fromkeys(ids))
+            self.worker.metrics.add("comm:requests_deduped", len(ids) - len(unique))
+            ids = unique
+        local_entry = self.worker.local_entry
+        chunk = self._response_chunk
+        for start in range(0, len(ids), chunk):
+            part = ids[start:start + chunk]
+            rows = [local_entry(v) for v in part]
+            ids_arr = np.asarray(part, dtype=np.int64)
+            labels = np.fromiter(
+                (label for label, _adj in rows), dtype=np.int64, count=len(part)
+            )
+            offsets = np.zeros(len(part) + 1, dtype=np.int64)
+            np.cumsum(
+                np.fromiter((len(adj) for _label, adj in rows),
+                            dtype=np.int64, count=len(part)),
+                out=offsets[1:],
+            )
+            if int(offsets[-1]):
+                adj_concat = np.concatenate([adj for _label, adj in rows])
+            else:
+                adj_concat = _EMPTY_ROW
             self.worker.transport.send(
-                ResponseBatch(src=self.worker.worker_id, dst=msg.src, vertices=out),
+                ResponseBatch.from_soa(
+                    self.worker.worker_id, msg.src,
+                    ids=ids_arr, labels=labels,
+                    adj_concat=adj_concat, offsets=offsets,
+                ),
                 now=now,
             )
-        self.worker.metrics.add("comm:requests_served", len(msg.vertex_ids))
+        self.worker.metrics.add("comm:requests_served", len(ids))
+        self.worker.metrics.add("time:comm_serve_s", time.perf_counter() - t0)
 
     def _receive_responses(self, msg: ResponseBatch) -> None:
         """Insert arrived vertices into the cache and wake waiting tasks."""
-        for v, label, adj in msg.vertices:
-            waiting = self.worker.cache.insert_response(v, label, adj)
+        t0 = time.perf_counter()
+        if self._bulk:
+            landed = self.worker.cache.insert_responses(msg.iter_rows())
+        else:
+            landed = [
+                (v, self.worker.cache.insert_response(v, label, adj))
+                for v, label, adj in msg.iter_rows()
+            ]
+        for v, waiting in landed:
             for task_id in waiting:
                 try:
                     engine = self.worker.engine_by_global_id(
@@ -138,5 +233,6 @@ class CommService:
                         f"cannot deliver arrival of vertex {v} "
                         f"(ResponseBatch from worker {msg.src}): {exc}",
                     ) from exc
-        self.worker.metrics.add("comm:responses_received", len(msg.vertices))
+        self.worker.metrics.add("comm:responses_received", len(landed))
+        self.worker.metrics.add("time:comm_land_s", time.perf_counter() - t0)
         self.worker.note_progress()

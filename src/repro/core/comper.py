@@ -232,18 +232,32 @@ class ComperEngine:
             self.checker.on_parked(task, self.global_id)
         self.t_task.insert(task.task_id, task, req=len(remote))
         cache = self.worker.cache
-        for v in remote:
-            outcome = cache.request(v, task.task_id)
-            if outcome.status == RequestOutcome.HIT:
-                ready = self.t_task.notify_arrival(task.task_id)
-                if ready is not None:
-                    if self.checker is not None:
-                        self.checker.on_ready(ready)
-                    self.b_task.put(ready)
-            elif outcome.status == RequestOutcome.MISS_SEND:
-                self.worker.comm.queue_request(v)
-            # MISS_DUPLICATE: the in-flight response will notify us.
+        if self.config.bulk_cache_ops:
+            # Bulk OP1: one bucket-lock acquisition per touched bucket,
+            # one comm-lock acquisition for all MISS_SENDs.
+            batch = cache.request_batch(remote, task.task_id)
+            for _ in range(batch.hits):
+                self._notify_self(task.task_id)
+            if batch.to_send:
+                self.worker.comm.queue_requests(batch.to_send)
+            # duplicates: the in-flight responses will notify us.
+        else:
+            for v in remote:
+                outcome = cache.request(v, task.task_id)
+                if outcome.status == RequestOutcome.HIT:
+                    self._notify_self(task.task_id)
+                elif outcome.status == RequestOutcome.MISS_SEND:
+                    self.worker.comm.queue_request(v)
+                # MISS_DUPLICATE: the in-flight response will notify us.
         return True
+
+    def _notify_self(self, task_id: int) -> None:
+        """Self-notification for a cache HIT during park (one per hit)."""
+        ready = self.t_task.notify_arrival(task_id)
+        if ready is not None:
+            if self.checker is not None:
+                self.checker.on_ready(ready)
+            self.b_task.put(ready)
 
     # -- the compute loop -----------------------------------------------------
 
@@ -272,9 +286,16 @@ class ComperEngine:
             # Release every remote vertex of the iteration just finished
             # ("a task always releases all its previously requested
             # non-local vertices from T_cache after each iteration").
-            for v in task.pulls_in_flight:
-                if not self.worker.owns_vertex(v):
-                    cache.release(v, task.task_id)
+            remote = [
+                v for v in task.pulls_in_flight
+                if not self.worker.owns_vertex(v)
+            ]
+            if remote:
+                if self.config.bulk_cache_ops:
+                    cache.release_batch(remote, task.task_id)
+                else:
+                    for v in remote:
+                        cache.release(v, task.task_id)
             pulls = task.take_pulls()
             task.pulls_in_flight = pulls
             if not more:

@@ -154,7 +154,29 @@ class GThinkerConfig:
     steal_enabled / steal_batches:
         Master-coordinated work stealing: when the gap between the most-
         and least-loaded workers exceeds one batch, move up to
-        ``steal_batches`` task batches per sync.
+        ``steal_batches`` task batches per sync.  The per-pair transfer
+        is workload-proportional (about a quarter of the victim/thief
+        gap, at least one batch) with hysteresis: a pair that just moved
+        work in one direction is not reversed on the next sweep, so
+        near-balanced workers stop ping-ponging batches.
+    idle_sleep_s / idle_backoff_max_s:
+        Adaptive idle polling, shared by every runtime that polls: an
+        idle comper/service/worker loop starts sleeping
+        ``idle_sleep_s`` and doubles up to ``idle_backoff_max_s`` until
+        work (or an explicit wake) arrives, then resets.  The threaded
+        and process masters use the same backoff between sweeps instead
+        of a fixed ``aggregator_sync_period_s`` sleep.
+    bulk_cache_ops:
+        Route the pull path through the bulk cache operations
+        (``request_batch`` / ``insert_responses`` / ``release_batch``
+        — one bucket-lock acquisition per touched bucket per batch) and
+        the bulk ``CommService.queue_requests``.  Default on; switching
+        it off restores the per-vertex OP1/OP2/OP3 calls, which is what
+        the A/B lock-acquisition regression test measures against.
+    response_chunk:
+        Cap on vertices per :class:`~repro.net.message.ResponseBatch`
+        so one huge request batch does not produce one giant message
+        (MTU-ish chunking; default 4096).
     checkpoint_every_syncs:
         If > 0, write a checkpoint every this many progress syncs.  On
         ``runtime="process"`` each checkpoint is a sync-barrier protocol
@@ -227,6 +249,10 @@ class GThinkerConfig:
     sync_every_rounds: int = 64
     steal_enabled: bool = True
     steal_batches: int = 4
+    idle_sleep_s: float = 0.0005
+    idle_backoff_max_s: float = 0.02
+    bulk_cache_ops: bool = True
+    response_chunk: int = 4096
     checkpoint_every_syncs: int = 0
     checkpoint_dir: Optional[str] = None
     failure_plan: Optional[FailurePlanConfig] = None
@@ -264,6 +290,15 @@ class GThinkerConfig:
             raise ValueError("inline_iteration_limit must be >= 1")
         if self.ipc_batch_max_messages < 1:
             raise ValueError("ipc_batch_max_messages must be >= 1")
+        if self.idle_sleep_s <= 0:
+            raise ValueError("idle_sleep_s must be > 0")
+        if self.idle_backoff_max_s < self.idle_sleep_s:
+            raise ValueError(
+                f"idle_backoff_max_s ({self.idle_backoff_max_s}) must be >= "
+                f"idle_sleep_s ({self.idle_sleep_s})"
+            )
+        if self.response_chunk < 1:
+            raise ValueError("response_chunk must be >= 1")
         if self.ipc_wire_format not in ("binary", "pickle"):
             raise ValueError(
                 f"ipc_wire_format must be 'binary' or 'pickle', "

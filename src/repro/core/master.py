@@ -50,6 +50,11 @@ class Master:
         self._sync_count += 1
         self.global_aggregator.sync([w.aggregator for w in self.workers])
         for w in self.workers:
+            # Commit this thread's pending ±δ so an idle cluster's
+            # s_cache converges to the exact size, and publish the
+            # bucket-lock acquisition totals gathered since last sync.
+            w.cache.flush_local_counter()
+            w.cache.commit_lock_metrics()
             w.update_memory_gauge()
         if self.config.steal_enabled and len(self.workers) > 1:
             self._plan_and_execute_steals(now)
@@ -70,28 +75,53 @@ class Master:
     # -- work stealing --------------------------------------------------------
 
     def _plan_and_execute_steals(self, now: float) -> None:
+        """Workload-proportional stealing with ping-pong hysteresis.
+
+        The transfer amount is about a quarter of the victim/thief gap
+        (moving ``m`` tasks shrinks the gap by ``2m``, so ``gap // 4``
+        halves it without overshooting), at least one batch, capped at
+        ``steal_batches`` batches.  A pair that moved work one way in
+        the previous sync is not reversed in this one, so near-balanced
+        workers stop trading the same batch back and forth.
+        """
         estimates = [(w.remaining_workload_estimate(), w.worker_id) for w in self.workers]
         batch = self.config.task_batch_size
+        cap = self.config.steal_batches * batch
+        prev_pairs = getattr(self, "_last_steal_pairs", frozenset())
+        pairs = set()
         for _ in range(self.config.steal_batches):
             estimates.sort()
             low_est, low_id = estimates[0]
             high_est, high_id = estimates[-1]
-            if high_est - low_est <= 2 * batch:
-                return
+            gap = high_est - low_est
+            if gap <= 2 * batch:
+                break
+            if (low_id, high_id) in prev_pairs:
+                # Hysteresis: last sync moved work low_id -> high_id;
+                # shipping it straight back would ping-pong.
+                break
+            amount = max(batch, min(gap // 4, cap))
             victim = self.workers[high_id]
-            moved = self._steal_one_batch(victim, low_id, now)
+            moved = self._steal_one_batch(victim, low_id, now, amount)
             if moved == 0:
-                return
+                break
+            pairs.add((high_id, low_id))
             estimates[0] = (low_est + moved, low_id)
             estimates[-1] = (high_est - moved, high_id)
             self.metrics.add("steal:batches")
             self.metrics.add("steal:tasks", moved)
+        self._last_steal_pairs = frozenset(pairs)
 
-    def _steal_one_batch(self, victim: Worker, thief_id: int, now: float) -> int:
+    def _steal_one_batch(
+        self, victim: Worker, thief_id: int, now: float,
+        max_tasks: Optional[int] = None,
+    ) -> int:
         """Move one task batch from victim to thief over the transport."""
         payload_info = victim.l_file.take_payload()
         if payload_info is None:
-            payload_info = victim.spawn_batch_payload(self.config.task_batch_size)
+            payload_info = victim.spawn_batch_payload(
+                max_tasks if max_tasks is not None else self.config.task_batch_size
+            )
         if payload_info is None:
             return 0
         payload, count = payload_info

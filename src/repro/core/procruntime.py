@@ -76,6 +76,7 @@ unless ``rearm=True``.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
 import pickle
 import random
@@ -107,11 +108,14 @@ from .worker import Worker
 
 __all__ = ["ProcessExecutor"]
 
-#: Idle backoff inside a worker process when a round does no work.
-_IDLE_SLEEP_S = 0.0005
-
 #: How long `_send` drains a broken pipe looking for the error report.
 _ERROR_DRAIN_S = 1.0
+
+#: Engine steps a worker runs between control-plane/inbox polls.  Bounds
+#: the extra latency of answering a sync or serving a pull at one burst
+#: (engine steps end early when no engine has work); big enough that the
+#: per-round polling overhead is noise next to the mining work.
+_ENGINE_BURST_STEPS = 32
 
 
 @dataclass
@@ -268,14 +272,48 @@ def _worker_main(
             worker.aggregator.publish_global(global_value)
         injector = _FailureInjector(config.failure_plan, worker_id, incarnation)
 
+        # Adaptive idle wait: back off exponentially while nothing
+        # happens, waking promptly on either a control command or an
+        # incoming data-queue message (selected together via
+        # multiprocessing.connection.wait).  On the transition into a
+        # fully drained state, send an unsolicited ("wake", wid) so the
+        # parent runs its termination sweeps immediately instead of a
+        # sync period later.
+        own_queue = data_queues[worker_id]
+        queue_reader = getattr(own_queue, "_reader", None)
+        wait_on = [conn] if queue_reader is None else [conn, queue_reader]
+        backoff = config.idle_sleep_s
+        was_drained = False
+
         quiesced = False
         while True:
             worked = worker.comm.step()
             if not quiesced:
-                for engine in worker.engines:
-                    worked = engine.step() or worked
-                worked = worker.gc_step() or worked
-                injector.observe_round(worker)
+                # Run a burst of engine steps per control-plane round:
+                # the inbox poll (an Empty-exception probe on an
+                # mp.Queue) and the conn.poll syscall cost more than a
+                # cheap task iteration, so paying them once per step
+                # made the 1-worker process runtime measurably slower
+                # than serial.  A burst amortizes that fixed cost while
+                # also letting parked tasks' requests accumulate into
+                # fewer, larger flush batches.  The burst ends early the
+                # moment no engine makes progress, so pull latency only
+                # grows while there is local work to overlap it with.
+                for _ in range(_ENGINE_BURST_STEPS):
+                    stepped = False
+                    for engine in worker.engines:
+                        stepped = engine.step() or stepped
+                    # GC and the failure injector keep per-step (not
+                    # per-burst) granularity: spill pressure must be
+                    # relieved as it builds, and injection triggers
+                    # count scheduler rounds *observing* a transient
+                    # condition (mid-spawn cursor, fresh spill) that
+                    # can appear and clear within one burst.
+                    stepped = worker.gc_step() or stepped
+                    injector.observe_round(worker)
+                    worked = worked or stepped
+                    if not stepped:
+                        break
 
             while conn.poll(0):
                 cmd = conn.recv()
@@ -285,6 +323,11 @@ def _worker_main(
                     # left waiting mid-protocol, like a machine loss.
                     injector.fire("sync")
                     worker.aggregator.publish_global(cmd[1])
+                    # This loop is the process's only cache-mutating
+                    # thread, so flushing here makes s_cache exact and
+                    # the lock-acquisition metric current at every sync.
+                    worker.cache.flush_local_counter()
+                    worker.cache.commit_lock_metrics()
                     worker.update_memory_gauge()
                     transport.flush_outgoing()
                     conn.send(_Status(
@@ -337,6 +380,8 @@ def _worker_main(
                     quiesced = False
                     conn.send(("resumed", worker_id))
                 elif tag == "stop":
+                    worker.cache.flush_local_counter()
+                    worker.cache.commit_lock_metrics()
                     worker.update_memory_gauge()
                     conn.send(_Final(
                         worker_id=worker_id,
@@ -348,8 +393,24 @@ def _worker_main(
                 else:
                     raise GThinkerError(f"unknown control command {tag!r}")
 
-            if not worked:
-                time.sleep(_IDLE_SLEEP_S)
+            if worked:
+                backoff = config.idle_sleep_s
+                was_drained = False
+            else:
+                drained = (
+                    not quiesced
+                    and worker.tasks_in_memory() == 0
+                    and len(worker.l_file) == 0
+                    and worker.unspawned_count() == 0
+                    and worker.comm.pending_outgoing() == 0
+                    and transport.pending_unflushed() == 0
+                )
+                if drained and not was_drained:
+                    conn.send(("wake", worker_id))
+                was_drained = drained
+                # Block until a command or data arrives, up to backoff.
+                mp_connection.wait(wait_on, timeout=backoff)
+                backoff = min(backoff * 2, config.idle_backoff_max_s)
     except BaseException as exc:
         try:
             conn.send(("error", worker_id, type(exc).__name__,
@@ -517,6 +578,10 @@ class _ProcessMaster:
             raise WorkerProcessError(
                 wid, f"{exc_type} raised:\n{tb}", recoverable=False
             )
+        if isinstance(msg, tuple) and msg and msg[0] == "wake":
+            # Unsolicited idle notification racing a request-reply
+            # exchange; the reply we are waiting for is still behind it.
+            return self._recv(worker_id, timeout)
         return msg
 
     def _send(self, worker_id: int, cmd) -> None:
@@ -565,24 +630,41 @@ class _ProcessMaster:
         return statuses
 
     def _plan_steals(self, statuses: List[_Status]) -> None:
+        """Workload-proportional steal plan with ping-pong hysteresis.
+
+        Mirrors :meth:`repro.core.master.Master._plan_and_execute_steals`:
+        the per-pair transfer is ``max(batch, gap // 4)`` capped at
+        ``steal_batches`` batches (halving the gap without overshoot),
+        and a pair that moved work one way in the previous sweep is not
+        reversed in this one.
+        """
         if not self.config.steal_enabled or len(statuses) < 2:
             return
         estimates = [[s.workload, s.worker_id] for s in statuses]
         batch = self.config.task_batch_size
+        cap = self.config.steal_batches * batch
+        prev_pairs = getattr(self, "_last_steal_pairs", frozenset())
+        pairs = set()
         for _ in range(self.config.steal_batches):
             estimates.sort()
             low, high = estimates[0], estimates[-1]
-            if high[0] - low[0] <= 2 * batch:
-                return
-            self._send(high[1], ("steal", low[1], batch))
+            gap = high[0] - low[0]
+            if gap <= 2 * batch:
+                break
+            if (low[1], high[1]) in prev_pairs:
+                break
+            amount = max(batch, min(gap // 4, cap))
+            self._send(high[1], ("steal", low[1], amount))
             reply = self._recv(high[1])
             moved = reply[1] if isinstance(reply, tuple) else 0
             if moved == 0:
-                return
+                break
+            pairs.add((high[1], low[1]))
             low[0] += moved
             high[0] -= moved
             self.metrics.add("steal:batches")
             self.metrics.add("steal:tasks", moved)
+        self._last_steal_pairs = frozenset(pairs)
 
     def _checkpoint(self) -> None:
         """The sync-barrier checkpoint protocol (see module docstring)."""
@@ -645,10 +727,50 @@ class _ProcessMaster:
         for wid in range(n):
             self._recv(wid)  # ("resumed", wid)
 
+    def _wait_for_wake(self, timeout: float) -> bool:
+        """Sleep up to ``timeout``, returning early (True) on a worker's
+        unsolicited ``("wake", wid)`` idle notification.
+
+        Anything else arriving out of band is an error report (raised
+        here) or a pipe closure (raised as a recoverable loss).  Real
+        protocol replies cannot appear: the control plane is strictly
+        request-reply outside this window.
+        """
+        try:
+            ready = mp_connection.wait(self.conns, timeout=timeout)
+        except OSError:  # a pipe died mid-wait; the next sweep reports it
+            return True
+        woke = False
+        for conn in ready:
+            wid = self.conns.index(conn)
+            if not self.procs[wid].is_alive() and not conn.poll(0):
+                raise WorkerProcessError(
+                    wid,
+                    f"died with exit code {self.procs[wid].exitcode} "
+                    f"without reporting an error",
+                    recoverable=True,
+                )
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerProcessError(
+                    wid, "control pipe closed while idle",
+                    recoverable=True,
+                ) from exc
+            if isinstance(msg, tuple) and msg and msg[0] == "error":
+                _tag, ewid, exc_type, tb = msg
+                raise WorkerProcessError(
+                    ewid, f"{exc_type} raised:\n{tb}", recoverable=False
+                )
+            if isinstance(msg, tuple) and msg and msg[0] == "wake":
+                woke = True
+        return woke
+
     def _run_to_completion(self) -> List[_Final]:
         prev_idle = False
         prev_progress = -1
         sweeps = 0
+        sweep_wait = self.config.idle_sleep_s
         while True:
             statuses = self._sweep()
             sweeps += 1
@@ -680,7 +802,17 @@ class _ProcessMaster:
                 raise GThinkerError(
                     f"process job exceeded {self.join_timeout_s}s"
                 )
-            time.sleep(self.config.aggregator_sync_period_s)
+            if idle:
+                # First idle observation: run the confirming sweep right
+                # away instead of burning a whole sync period — this is
+                # most of the fixed-cadence latency on short jobs.
+                sweep_wait = self.config.idle_sleep_s
+                continue
+            if self._wait_for_wake(sweep_wait):
+                sweep_wait = self.config.idle_sleep_s
+            else:
+                sweep_wait = min(sweep_wait * 2,
+                                 self.config.aggregator_sync_period_s)
 
         finals: List[_Final] = []
         for wid in range(len(self.conns)):

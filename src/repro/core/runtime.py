@@ -264,15 +264,24 @@ class SerialRuntime:
 
 
 class ThreadedRuntime:
-    """One thread per comper + one service thread per worker."""
+    """One thread per comper + one service thread per worker.
 
-    IDLE_SLEEP_S = 0.0005
+    Idle loops sleep adaptively: starting at ``config.idle_sleep_s`` and
+    doubling up to ``config.idle_backoff_max_s`` while nothing happens,
+    resetting on work.  The master sweep is driven the same way — it
+    backs off towards ``aggregator_sync_period_s`` between sweeps, but a
+    service thread observing its worker fully drained sets a wake event
+    so the termination-detecting sweeps run immediately instead of a
+    sync period later.
+    """
 
     def __init__(self, join_timeout_s: float = 120.0) -> None:
         self.join_timeout_s = join_timeout_s
 
     def run(self, cluster: Cluster) -> None:
+        cfg = cluster.config
         stop = threading.Event()
+        wake = threading.Event()
         errors: List[BaseException] = []
         errors_lock = threading.Lock()
 
@@ -280,22 +289,46 @@ class ThreadedRuntime:
             with errors_lock:
                 errors.append(exc)
             stop.set()
+            wake.set()
 
         def comper_loop(engine) -> None:
             try:
+                backoff = cfg.idle_sleep_s
                 while not stop.is_set():
-                    if not engine.step():
-                        time.sleep(self.IDLE_SLEEP_S)
+                    if engine.step():
+                        backoff = cfg.idle_sleep_s
+                    else:
+                        engine.worker.cache.flush_local_counter()
+                        time.sleep(backoff)
+                        backoff = min(backoff * 2, cfg.idle_backoff_max_s)
             except BaseException as exc:  # propagate to the main thread
                 record_error(exc)
 
         def service_loop(worker) -> None:
             try:
+                backoff = cfg.idle_sleep_s
+                was_drained = False
                 while not stop.is_set():
                     worked = worker.comm.step()
                     worked = worker.gc_step() or worked
-                    if not worked:
-                        time.sleep(self.IDLE_SLEEP_S)
+                    if worked:
+                        backoff = cfg.idle_sleep_s
+                        was_drained = False
+                        continue
+                    drained = (
+                        worker.tasks_in_memory() == 0
+                        and len(worker.l_file) == 0
+                        and worker.unspawned_count() == 0
+                        and worker.comm.pending_outgoing() == 0
+                    )
+                    if drained and not was_drained:
+                        # Locally out of work: nudge the master so the
+                        # two termination sweeps run now, not after the
+                        # sync period elapses.
+                        wake.set()
+                    was_drained = drained
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2, cfg.idle_backoff_max_s)
             except BaseException as exc:
                 record_error(exc)
 
@@ -314,6 +347,7 @@ class ThreadedRuntime:
             t.start()
 
         deadline = time.monotonic() + self.join_timeout_s
+        sweep_wait = cfg.idle_sleep_s
         try:
             while not stop.is_set():
                 if cluster.master.sync():
@@ -322,7 +356,12 @@ class ThreadedRuntime:
                     raise GThinkerError(
                         f"threaded job exceeded {self.join_timeout_s}s"
                     )
-                time.sleep(cluster.config.aggregator_sync_period_s)
+                if wake.wait(timeout=sweep_wait):
+                    wake.clear()
+                    sweep_wait = cfg.idle_sleep_s
+                else:
+                    sweep_wait = min(sweep_wait * 2,
+                                     cfg.aggregator_sync_period_s)
         finally:
             stop.set()
             for t in threads:

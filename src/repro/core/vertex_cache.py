@@ -27,13 +27,22 @@ maintained *approximately*: each thread accumulates a local delta and
 commits it when it reaches ±δ (paper default δ=10), bounding contention
 on the shared counter while keeping the estimation error below
 ``n_threads · δ``.
+
+The bulk entry points :meth:`VertexCache.request_batch`,
+:meth:`VertexCache.insert_responses` and :meth:`VertexCache.release_batch`
+apply a whole batch of OP1/OP2/OP3 operations while taking each touched
+bucket's mutex **once per batch** instead of once per vertex.  They are
+observationally equivalent to the per-vertex sequence in batch order
+(same outcomes, same lock counts, same Z-table membership, same
+``s_cache``); only the number of mutex acquisitions differs, which the
+``cache:bucket_lock_acquisitions`` metric makes visible.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -41,7 +50,12 @@ from ..graph import kernels
 from .errors import CacheProtocolError
 from .metrics import MetricsRegistry
 
-__all__ = ["VertexCache", "CachedVertex", "RequestOutcome"]
+__all__ = [
+    "VertexCache",
+    "CachedVertex",
+    "RequestOutcome",
+    "BatchRequestOutcome",
+]
 
 #: Modeled per-entry header cost: the CachedVertex record, the Γ-table
 #: slot and the ndarray object header a C++ implementation would also
@@ -96,14 +110,36 @@ class RequestOutcome:
         self.entry = entry
 
 
+class BatchRequestOutcome:
+    """Aggregate result of a :meth:`VertexCache.request_batch` (bulk OP1).
+
+    Equivalent to folding the per-vertex :class:`RequestOutcome` stream:
+    ``hits`` counts HIT outcomes (each took one lock, exactly as the
+    per-vertex op would), ``to_send`` lists the MISS_SEND vertices in
+    batch order (the caller must queue a network request for each), and
+    ``duplicates`` counts suppressed MISS_DUPLICATE outcomes.
+    """
+
+    __slots__ = ("hits", "to_send", "duplicates")
+
+    def __init__(self, hits: int, to_send: List[int], duplicates: int) -> None:
+        self.hits = hits
+        self.to_send = to_send
+        self.duplicates = duplicates
+
+
 class _Bucket:
-    __slots__ = ("lock", "gamma", "zero", "requests")
+    __slots__ = ("lock", "gamma", "zero", "requests", "acquisitions")
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.gamma: Dict[int, CachedVertex] = {}
         self.zero: Set[int] = set()
         self.requests: Dict[int, _PendingRequest] = {}
+        #: Mutex acquisitions by OP1-OP4/get_locked (bulk ops count one
+        #: per touched bucket).  Mutated only while ``lock`` is held, so
+        #: the count is exact without any extra synchronization.
+        self.acquisitions = 0
 
 
 class VertexCache:
@@ -196,6 +232,7 @@ class VertexCache:
         """
         b = self._bucket(v)
         with b.lock:
+            b.acquisitions += 1
             entry = b.gamma.get(v)
             if entry is not None:
                 # Case 1: cached.  Take a lock; leave the Z-table if there.
@@ -220,6 +257,60 @@ class VertexCache:
             return RequestOutcome(RequestOutcome.MISS_SEND)
         return RequestOutcome(RequestOutcome.MISS_DUPLICATE)
 
+    def request_batch(self, vertices: Sequence[int], task_id: int) -> BatchRequestOutcome:
+        """Bulk OP1: request every vertex in ``vertices`` for one task.
+
+        Groups the vertices by bucket and takes each touched bucket's
+        mutex once, applying the per-vertex OP1 state transitions in
+        batch order inside it.  Observationally equivalent to calling
+        :meth:`request` per vertex; HIT entries are *not* returned
+        because the park-first protocol resolves them later through
+        :meth:`get_locked` (the lock is taken here, exactly as OP1 does).
+        """
+        by_bucket: Dict[int, List[int]] = {}
+        for v in vertices:
+            by_bucket.setdefault(v % self._num_buckets, []).append(v)
+        hits = 0
+        duplicates = 0
+        new_entries = 0
+        send_set: Set[int] = set()
+        for bidx, vs in by_bucket.items():
+            b = self._buckets[bidx]
+            with b.lock:
+                b.acquisitions += 1
+                for v in vs:
+                    entry = b.gamma.get(v)
+                    if entry is not None:
+                        if entry.lock_count == 0:
+                            b.zero.discard(v)
+                        entry.lock_count += 1
+                        hits += 1
+                        continue
+                    pending = b.requests.get(v)
+                    if pending is None:
+                        b.requests[v] = _PendingRequest([task_id])
+                        new_entries += 1
+                        send_set.add(v)
+                    else:
+                        pending.waiting_task_ids.append(task_id)
+                        duplicates += 1
+        if hits:
+            self._metrics.add("cache:hits", hits)
+        if new_entries:
+            self._metrics.add("cache:miss_first", new_entries)
+            self._bump(+new_entries)
+        if duplicates:
+            self._metrics.add("cache:miss_duplicate", duplicates)
+        # Preserve batch order in to_send so request batches on the wire
+        # match what the per-vertex path would have queued (one entry per
+        # MISS_SEND even if the batch names a vertex twice).
+        to_send: List[int] = []
+        for v in vertices:
+            if v in send_set:
+                send_set.discard(v)
+                to_send.append(v)
+        return BatchRequestOutcome(hits, to_send, duplicates)
+
     # -- OP2: receiving thread inserts a response ------------------------------
 
     def insert_response(self, v: int, label: int, adj: Sequence[int]) -> List[int]:
@@ -233,6 +324,7 @@ class VertexCache:
         """
         b = self._bucket(v)
         with b.lock:
+            b.acquisitions += 1
             pending = b.requests.pop(v, None)
             if pending is None:
                 raise CacheProtocolError(
@@ -253,6 +345,61 @@ class VertexCache:
         self._metrics.add("cache:responses")
         return waiting
 
+    def insert_responses(
+        self, rows: Iterable[Tuple[int, int, Sequence[int]]]
+    ) -> List[Tuple[int, List[int]]]:
+        """Bulk OP2: land a batch of ``(v, label, adj)`` responses.
+
+        Groups by bucket, takes each bucket's mutex once, and applies the
+        per-vertex OP2 transition for each row in batch order.  Returns
+        ``[(v, waiting_task_ids), ...]`` in batch order so the caller can
+        notify pending tasks exactly as it would per vertex.  Raises
+        :class:`CacheProtocolError` mid-batch on a protocol violation —
+        rows already landed stay landed, mirroring a per-vertex sequence
+        that fails partway through.
+        """
+        by_bucket: Dict[int, List[Tuple[int, int, int, Sequence[int]]]] = {}
+        order = 0
+        for v, label, adj in rows:
+            by_bucket.setdefault(v % self._num_buckets, []).append(
+                (order, v, label, adj)
+            )
+            order += 1
+        results: List[Optional[Tuple[int, List[int]]]] = [None] * order
+        added_bytes = 0
+        landed = 0
+        try:
+            for bidx, items in by_bucket.items():
+                b = self._buckets[bidx]
+                with b.lock:
+                    b.acquisitions += 1
+                    for pos, v, label, adj in items:
+                        pending = b.requests.pop(v, None)
+                        if pending is None:
+                            raise CacheProtocolError(
+                                f"response for vertex {v} that has no R-table entry"
+                            )
+                        if v in b.gamma:
+                            raise CacheProtocolError(
+                                f"vertex {v} already in Γ-table"
+                            )
+                        arr = kernels.as_ids_array(adj)
+                        if arr.flags.writeable:
+                            arr.flags.writeable = False
+                        entry = CachedVertex(int(v), int(label), arr,
+                                             lock_count=pending.lock_count)
+                        b.gamma[v] = entry
+                        results[pos] = (int(v), list(pending.waiting_task_ids))
+                        added_bytes += entry.memory_estimate_bytes()
+                        landed += 1
+        finally:
+            # s_cache unchanged (R-table entries became Γ-table entries).
+            if self._memory_model is not None and added_bytes:
+                self._memory_model.add_cache(added_bytes)
+            if landed:
+                self._metrics.add("cache:responses", landed)
+        return [r for r in results if r is not None]
+
     # -- OP3: task releases a vertex after an iteration -------------------------
 
     def release(self, v: int, task_id: int = -1) -> None:
@@ -263,6 +410,7 @@ class VertexCache:
         """
         b = self._bucket(v)
         with b.lock:
+            b.acquisitions += 1
             entry = b.gamma.get(v)
             if entry is None or entry.lock_count <= 0:
                 raise CacheProtocolError(
@@ -271,6 +419,31 @@ class VertexCache:
             entry.lock_count -= 1
             if entry.lock_count == 0:
                 b.zero.add(v)
+
+    def release_batch(self, vertices: Sequence[int], task_id: int = -1) -> None:
+        """Bulk OP3: release every vertex in ``vertices`` for one task.
+
+        Groups by bucket and takes each touched bucket's mutex once.
+        Equivalent to calling :meth:`release` per vertex in batch order
+        (a vertex listed twice is decremented twice).
+        """
+        by_bucket: Dict[int, List[int]] = {}
+        for v in vertices:
+            by_bucket.setdefault(v % self._num_buckets, []).append(v)
+        for bidx, vs in by_bucket.items():
+            b = self._buckets[bidx]
+            with b.lock:
+                b.acquisitions += 1
+                for v in vs:
+                    entry = b.gamma.get(v)
+                    if entry is None or entry.lock_count <= 0:
+                        raise CacheProtocolError(
+                            f"release of vertex {v} that is not locked in the "
+                            f"Γ-table"
+                        )
+                    entry.lock_count -= 1
+                    if entry.lock_count == 0:
+                        b.zero.add(v)
 
     # -- reads for ready tasks (no extra lock taken) -----------------------------
 
@@ -283,6 +456,7 @@ class VertexCache:
         """
         b = self._bucket(v)
         with b.lock:
+            b.acquisitions += 1
             entry = b.gamma.get(v)
             if entry is None or entry.lock_count <= 0:
                 raise CacheProtocolError(
@@ -297,9 +471,14 @@ class VertexCache:
         over buckets; returns how many were evicted.
 
         With ``max_evictions=None``, clears the current overflow
-        ``s_cache - c_cache`` (the paper's δ_cache batch).
+        ``s_cache - c_cache`` (the paper's δ_cache batch).  The calling
+        thread's uncommitted counter delta is flushed first so the
+        overflow budget is computed from this thread's true view of
+        ``s_cache`` — without this the GC thread's own pending inserts
+        made it under- or over-shoot by up to δ.
         """
         if max_evictions is None:
+            self.flush_local_counter()
             max_evictions = max(0, self.size_estimate - self.capacity)
         evicted = 0
         scanned_buckets = 0
@@ -310,6 +489,7 @@ class VertexCache:
                 self._gc_cursor = (self._gc_cursor + 1) % self._num_buckets
                 scanned_buckets += 1
                 with b.lock:
+                    b.acquisitions += 1
                     while b.zero and evicted < max_evictions:
                         v = b.zero.pop()
                         entry = b.gamma.pop(v)
@@ -322,6 +502,26 @@ class VertexCache:
                 self._memory_model.add_cache(-freed_bytes)
             self._metrics.add("cache:evictions", evicted)
         return evicted
+
+    # -- lock-acquisition accounting ------------------------------------------
+
+    def bucket_lock_acquisitions(self) -> int:
+        """Total bucket-mutex acquisitions so far (racy read; exact once
+        the cache is quiescent)."""
+        return sum(b.acquisitions for b in self._buckets)
+
+    def commit_lock_metrics(self) -> None:
+        """Publish the acquisition total to ``cache:bucket_lock_acquisitions``.
+
+        Delta-tracked so repeated calls (every sync) are idempotent; the
+        metric ends up equal to :meth:`bucket_lock_acquisitions` at job
+        end.
+        """
+        total = self.bucket_lock_acquisitions()
+        delta = total - getattr(self, "_lock_metrics_committed", 0)
+        if delta:
+            self._metrics.add("cache:bucket_lock_acquisitions", delta)
+            self._lock_metrics_committed = total
 
     # -- invariant checks (tests) -------------------------------------------------
 

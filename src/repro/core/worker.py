@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graph import kernels
-from ..graph.partition import hash_partition
+from ..graph.partition import hash_partition, hash_partition_array
 from .aggregator import AggregatorService
 from .api import Comper, Task, VertexView
 from .comm import CommService
@@ -132,6 +132,11 @@ class Worker:
         #: materialized lazily from here into ``_local`` on first touch.
         self._shared = None
         self._shared_owned = frozenset()
+        #: Owned vertex id -> SharedCSR row position (lazy-fault index).
+        self._shared_pos: Dict[int, int] = {}
+        #: Bytes of lazily-faulted rows not yet folded into the memory
+        #: model; committed by :meth:`update_memory_gauge`.
+        self._lazy_local_bytes = 0
         self._spawn_order: List[int] = []
         self._spawn_next = 0
         self._spawn_lock = threading.Lock()
@@ -210,12 +215,15 @@ class Worker:
         CSR degrees here made ``peak_memory_bytes`` disagree between the
         process and serial/threaded runtimes for any app with a Trimmer.
         """
-        owned = [
-            int(v) for v in csr.vertex_ids.tolist()
-            if hash_partition(int(v), self.num_workers) == self.worker_id
-        ]
+        owners = hash_partition_array(csr.vertex_ids, self.num_workers)
+        mask = owners == self.worker_id
+        owned = csr.vertex_ids[mask].tolist()
         self._shared = csr
         self._shared_owned = frozenset(owned)
+        # Owned id -> CSR row position, precomputed in one vectorized
+        # pass: faulting a row then costs a dict lookup instead of a
+        # searchsorted per vertex.
+        self._shared_pos = dict(zip(owned, np.nonzero(mask)[0].tolist()))
         self._spawn_order = owned  # vertex_ids are sorted ascending
         self.memory.set_local_table(0)
 
@@ -234,13 +242,20 @@ class Worker:
         it after Γ_>-style trimming) — still sharing the shm buffer.
         """
         entry = self._local.get(v)
-        if entry is None and v in self._shared_owned:
-            label, adj = self._shared.entry(v)
+        if entry is None:
+            pos = self._shared_pos.get(v)
+            if pos is None:
+                return None
+            label, adj = self._shared.entry_at(pos)
             if self._trimmer is not None:
                 adj = kernels.as_ids_array(self._trimmer.trim(v, label, adj))
             entry = (label, adj)
             self._local[v] = entry
-            self.memory.add_local_table(24 + adj.nbytes)
+            # Gauge bytes accumulate locally and fold into the memory
+            # model at the next sync (update_memory_gauge): the model
+            # takes a lock and refreshes three high-water marks per
+            # commit, far too heavy to pay per faulted row.
+            self._lazy_local_bytes += 24 + adj.nbytes
         return entry
 
     def local_view(self, v: int) -> Optional[VertexView]:
@@ -369,6 +384,9 @@ class Worker:
 
     def update_memory_gauge(self) -> None:
         """Refresh the modeled task-pool footprint (called at sync points)."""
+        if self._lazy_local_bytes:
+            self.memory.add_local_table(self._lazy_local_bytes)
+            self._lazy_local_bytes = 0
         # Q_task maintains its own byte gauge on the owning comper's
         # side, so this cross-thread read never iterates the deque (a
         # concurrent mutation would make deque iteration raise).

@@ -231,20 +231,11 @@ class SharedCSR:
     @classmethod
     def from_graph(cls, g: Graph) -> "SharedCSR":
         """Build the arrays once and place them in shared memory."""
-        verts = np.asarray(g.sorted_vertices(), dtype=np.int64)
+        # The flatten itself is memoized on the (immutable) graph, so a
+        # second job on the same graph only pays the copy into fresh
+        # shared-memory blocks below.
+        verts, indptr, indices, labels = g.csr_arrays()
         n = len(verts)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        rows: List[np.ndarray] = []
-        labels = np.zeros(n, dtype=np.int64)
-        for i, v in enumerate(verts):
-            vi = int(v)
-            row = np.asarray(g.neighbors(vi), dtype=np.int64)
-            rows.append(row)
-            indptr[i + 1] = indptr[i] + len(row)
-            labels[i] = g.label(vi)
-        indices = (
-            np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
-        )
         blocks = [_alloc_block(a) for a in (indptr, indices, verts, labels)]
         meta = SharedCSRMeta(
             indptr_name=blocks[0].name,
@@ -338,7 +329,12 @@ class SharedCSR:
         reference to the shm buffer, so it stays valid for as long as any
         task keeps it, independent of cache eviction.
         """
-        i = self.position_of(vertex_id)
+        return self.entry_at(self.position_of(vertex_id))
+
+    def entry_at(self, i: int) -> Tuple[int, np.ndarray]:
+        """:meth:`entry` by row position — for callers that resolved the
+        id -> position mapping up front (``Worker.load_shared``) and can
+        skip the per-vertex ``searchsorted``."""
         row = self.indices[self.indptr[i]: self.indptr[i + 1]]
         return int(self.labels[i]), row
 

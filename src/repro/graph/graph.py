@@ -14,6 +14,7 @@ Vertices may optionally carry labels (used by subgraph matching).
 from __future__ import annotations
 
 import bisect
+import itertools
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -96,7 +97,7 @@ class Graph:
         to label ``0``.
     """
 
-    __slots__ = ("_adj", "_labels", "_num_edges", "_adj_arrays")
+    __slots__ = ("_adj", "_labels", "_num_edges", "_adj_arrays", "_csr_cache")
 
     def __init__(
         self,
@@ -107,6 +108,7 @@ class Graph:
         self._labels: Dict[int, int] = dict(labels) if labels else {}
         self._num_edges = 0
         self._adj_arrays: Dict[int, np.ndarray] = {}
+        self._csr_cache: Optional[Tuple[np.ndarray, ...]] = None
         if adjacency:
             for v, nbrs in adjacency.items():
                 cleaned = sorted({u for u in nbrs if u != v})
@@ -190,6 +192,41 @@ class Graph:
         """``Gamma_>(v)`` as a read-only ndarray view into ``neighbors_array``."""
         arr = self.neighbors_array(v)
         return arr[int(np.searchsorted(arr, v, side="right")):]
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Whole-graph CSR arrays ``(vertex_ids, indptr, indices, labels)``.
+
+        ``indices`` stores neighbor *ids* (not positions) concatenated in
+        ``vertex_ids`` order; all four arrays are read-only int64.  The
+        result is memoized — the graph is immutable after construction —
+        so repeated jobs on one graph (benchmarks, parameter sweeps) pay
+        the flatten cost once instead of per :func:`run_job` call.
+        """
+        cached = self._csr_cache
+        if cached is None:
+            verts = self.sorted_vertices()
+            n = len(verts)
+            vertex_ids = np.asarray(verts, dtype=np.int64)
+            adj = [self._adj[v] for v in verts]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(
+                np.fromiter(map(len, adj), dtype=np.int64, count=n),
+                out=indptr[1:],
+            )
+            indices = np.fromiter(
+                itertools.chain.from_iterable(adj),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            labels = np.fromiter(
+                (self._labels.get(v, 0) for v in verts),
+                dtype=np.int64,
+                count=n,
+            )
+            for a in (vertex_ids, indptr, indices, labels):
+                a.flags.writeable = False
+            cached = self._csr_cache = (vertex_ids, indptr, indices, labels)
+        return cached
 
     def degree(self, v: int) -> int:
         return len(self._adj[v])

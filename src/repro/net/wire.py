@@ -73,21 +73,34 @@ def encode_batch(messages: Sequence[Message]) -> bytes:
             )
             chunks.append(_ids_bytes(msg.vertex_ids))
         elif type(msg) is ResponseBatch:
-            n = len(msg.vertices)
-            ids = np.empty(n, dtype="<i8")
-            labels = np.empty(n, dtype="<i8")
-            degrees = np.empty(n, dtype="<i8")
-            rows: List[bytes] = []
-            for i, (v, label, adj) in enumerate(msg.vertices):
-                ids[i] = v
-                labels[i] = label
-                degrees[i] = len(adj)
-                rows.append(_ids_bytes(adj))
-            chunks.append(_ints(_KIND_RESPONSE, msg.src, msg.dst, n))
-            chunks.append(ids.tobytes())
-            chunks.append(labels.tobytes())
-            chunks.append(degrees.tobytes())
-            chunks.extend(rows)
+            if msg.is_soa:
+                # Struct-of-arrays batch: the frame layout *is* the
+                # in-memory layout, so encoding is four buffer dumps
+                # with no per-vertex Python loop.
+                chunks.append(_ints(_KIND_RESPONSE, msg.src, msg.dst,
+                                    len(msg.ids)))
+                chunks.append(_ids_bytes(msg.ids))
+                chunks.append(_ids_bytes(msg.labels))
+                chunks.append(
+                    np.diff(np.asarray(msg.offsets, dtype="<i8")).tobytes()
+                )
+                chunks.append(_ids_bytes(msg.adj_concat))
+            else:
+                n = len(msg.vertices)
+                ids = np.empty(n, dtype="<i8")
+                labels = np.empty(n, dtype="<i8")
+                degrees = np.empty(n, dtype="<i8")
+                rows: List[bytes] = []
+                for i, (v, label, adj) in enumerate(msg.vertices):
+                    ids[i] = v
+                    labels[i] = label
+                    degrees[i] = len(adj)
+                    rows.append(_ids_bytes(adj))
+                chunks.append(_ints(_KIND_RESPONSE, msg.src, msg.dst, n))
+                chunks.append(ids.tobytes())
+                chunks.append(labels.tobytes())
+                chunks.append(degrees.tobytes())
+                chunks.extend(rows)
         elif type(msg) is TaskBatchTransfer:
             chunks.append(
                 _ints(_KIND_TASKS, msg.src, msg.dst, msg.num_tasks,
@@ -147,11 +160,13 @@ def decode_batch(payload: bytes) -> List[Message]:
             ids = cur.read_array(n)
             labels = cur.read_array(n)
             degrees = cur.read_array(n)
-            vertices = []
-            for i in range(n):
-                adj = cur.read_array(int(degrees[i]))
-                vertices.append((int(ids[i]), int(labels[i]), adj))
-            out.append(ResponseBatch(src=src, dst=dst, vertices=vertices))
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=offsets[1:])
+            adj_concat = cur.read_array(int(offsets[-1]))
+            out.append(ResponseBatch.from_soa(
+                src, dst, ids=ids, labels=labels,
+                adj_concat=adj_concat, offsets=offsets,
+            ))
         elif kind == _KIND_TASKS:
             num_tasks, length = (int(x) for x in cur.read_ints(2))
             raw = cur.read_bytes(length)

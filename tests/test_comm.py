@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.api import Comper, Task, VertexView
-from repro.core.comm import RESPONSE_CHUNK
 from repro.core.config import GThinkerConfig
 from repro.core.job import build_cluster
 from repro.graph import Graph, hash_partition
@@ -18,10 +17,11 @@ class Quiet(Comper):
         return False
 
 
-def make_cluster(num_workers=2):
+def make_cluster(num_workers=2, **overrides):
     g = Graph.from_edges([(i, i + 1) for i in range(30)])
     cfg = GThinkerConfig(num_workers=num_workers, compers_per_worker=1,
-                         task_batch_size=4, cache_capacity=64, cache_buckets=8)
+                         task_batch_size=4, cache_capacity=64, cache_buckets=8,
+                         **overrides)
     return build_cluster(Quiet, g, cfg), g
 
 
@@ -38,14 +38,30 @@ def test_queue_and_flush_batches():
     w0 = cluster.workers[0]
     v = remote_vertex_of(w0, g)
     w0.comm.queue_request(v)
-    w0.comm.queue_request(v)  # second pull of the same vertex still queues
-    assert w0.comm.pending_outgoing() == 2
+    w0.comm.queue_request(v)  # second pull of the same vertex is deduped
+    assert w0.comm.pending_outgoing() == 1
+    assert cluster.metrics.get("comm:requests_deduped") == 1
+    assert cluster.metrics.get("comm:requests_queued") == 1
     w0.comm.step()
     assert w0.comm.pending_outgoing() == 0
     owner = cluster.workers[hash_partition(v, 2)]
     msgs = cluster.transport.poll(owner.worker_id)
-    assert len(msgs) == 1  # one batch, not two messages
-    assert msgs[0].vertex_ids == [v, v]
+    assert len(msgs) == 1  # one batch with one (dedup'd) id
+    assert msgs[0].vertex_ids == [v]
+
+
+def test_queue_requests_bulk_dedups_across_destinations():
+    (cluster, g) = make_cluster()
+    w0 = cluster.workers[0]
+    remote = [v for v in g.vertices() if not w0.owns_vertex(v)][:6]
+    w0.comm.queue_requests(remote + remote[:3])
+    assert w0.comm.pending_outgoing() == len(remote)
+    assert cluster.metrics.get("comm:requests_deduped") == 3
+    # The dedup window resets at flush: a re-request after the batch is
+    # on the wire queues again (the R-table suppresses real duplicates).
+    w0.comm.step()
+    w0.comm.queue_request(remote[0])
+    assert w0.comm.pending_outgoing() == 1
 
 
 def test_request_served_from_local_table():
@@ -62,16 +78,32 @@ def test_request_served_from_local_table():
 
 
 def test_response_chunking():
-    (cluster, g) = make_cluster()
+    (cluster, g) = make_cluster(response_chunk=4)
     w0, w1 = cluster.workers
     owned = [v for v in g.vertices() if w1.owns_vertex(v)]
-    # Ask for the same vertex many times to exceed one chunk.
-    ids = owned * (RESPONSE_CHUNK // len(owned) + 1)
-    cluster.transport.send(RequestBatch(src=0, dst=1, vertex_ids=ids))
+    assert len(owned) > 4
+    cluster.transport.send(RequestBatch(src=0, dst=1, vertex_ids=owned))
     w1.comm.step()
     responses = cluster.transport.poll(0)
     assert len(responses) >= 2
-    assert sum(len(r.vertices) for r in responses) == len(ids)
+    assert sum(len(r.vertices) for r in responses) == len(owned)
+    served = [vid for r in responses for (vid, _l, _a) in r.vertices]
+    assert served == owned
+
+
+def test_serve_dedups_duplicate_ids_in_batch():
+    (cluster, g) = make_cluster()
+    w0, w1 = cluster.workers
+    owned = [v for v in g.vertices() if w1.owns_vertex(v)][:5]
+    cluster.transport.send(
+        RequestBatch(src=0, dst=1, vertex_ids=owned + owned)
+    )
+    w1.comm.step()
+    responses = cluster.transport.poll(0)
+    served = [vid for r in responses for (vid, _l, _a) in r.vertices]
+    assert served == owned  # each unique vertex answered exactly once
+    assert cluster.metrics.get("comm:requests_served") == len(owned)
+    assert cluster.metrics.get("comm:requests_deduped") == len(owned)
 
 
 def test_response_wakes_pending_task():

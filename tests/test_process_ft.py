@@ -231,8 +231,12 @@ def _spill_graph():
 
 def _skewed_graph(heavy_worker, num_workers=2):
     """A graph whose vertex ids hash so one worker owns ~6x the
-    vertices of the other — that worker's workload estimate dominates
-    every sweep, making it the deterministic first steal victim."""
+    vertices of the other, with a *dense* heavy partition: each heavy
+    task decomposes, the resulting subtasks trip the pending threshold
+    (``D = 8C``) and stall the spawn cursor, so the heavy worker's
+    steal reservoir (unspawned frontier) outlives many sync sweeps and
+    its workload estimate dominates — making it the deterministic
+    first steal victim even though engines now run in bursts."""
     heavy, light = [], []
     v = 0
     while len(heavy) < 48 or len(light) < 8:
@@ -240,10 +244,12 @@ def _skewed_graph(heavy_worker, num_workers=2):
         (heavy if owner == heavy_worker else light).append(v)
         v += 1
     ids = heavy[:48] + light[:8]
+    heavy_set = set(heavy[:48])
     rng = random.Random(13)
     edges = [(ids[i], ids[j])
              for i in range(len(ids)) for j in range(i + 1, len(ids))
-             if rng.random() < 0.2]
+             if rng.random() < (0.5 if ids[i] in heavy_set
+                                and ids[j] in heavy_set else 0.15)]
     return Graph.from_edges(edges, extra_vertices=ids)
 
 

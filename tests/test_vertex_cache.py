@@ -259,16 +259,14 @@ def test_random_op_sequences_preserve_invariants(ops):
         elif op == "evict":
             evicted = c.evict(3)
             # Only zero-lock cached vertices can have disappeared.
-            if evicted:
-                gone = [
-                    u for u, (kind, locks) in state.items()
-                    if kind == "cached" and locks == 0
-                ]
-                assert evicted <= len(gone)
-                # Resync: drop evicted ones from our model by probing.
-                for u in gone:
-                    try:
-                        c.get_locked(u)
-                    except CacheProtocolError:
-                        state[u] = None
+            candidates = [
+                u for u, (kind, locks) in state.items()
+                if kind == "cached" and locks == 0
+            ]
+            assert evicted <= len(candidates)
+            # Resync: a candidate was evicted iff it left its Γ-table.
+            gone = [u for u in candidates if u not in c._bucket(u).gamma]
+            assert len(gone) == evicted
+            for u in gone:
+                del state[u]
         c.check_invariants()
