@@ -1,0 +1,187 @@
+"""Cluster-runtime benchmark: a 2-node localhost TCP cluster vs the
+serial oracle (``BENCH_cluster.json``).
+
+What the cluster runtime is for is machines; what this benchmark can
+measure on one box is (a) that the full TCP stack — GTWIRE1 frames over
+persistent sockets, control channel, boot handshake, termination sweeps
+— returns *exactly* the serial answers, and (b) what the stack costs:
+per-node wall clock, the ``tcp:*`` frame counters, and the ``net:bytes``
+split by locality (``local`` / ``same_host`` / ``cross_host`` — on a
+localhost cluster everything lands in the first two; a multi-host run
+shifts the third, which is the number the paper's GigE analysis cares
+about).
+
+Protocol
+--------
+* TC (triangle count) and MCF (maximum clique) on Erdos-Renyi graphs;
+  MCF answers compare by clique *size* (distinct maximum cliques of
+  equal size are all correct).
+* Serial and 2-node-cluster runs interleave (s, c, s, c, ...) and each
+  wall time is the best of k rounds.
+* Per-node metrics come back merged into the job result (each node's
+  registry snapshot is folded in at join); the report carries the
+  shared-fate counters plus the locality byte split.
+* ``speedup_valid`` marks whether the wall-clock ratio means anything:
+  on <2 cores a localhost cluster cannot beat serial by construction,
+  and even on many cores the TCP stack trades latency for the ability
+  to leave the machine — the gate is answers, never speed.
+
+Exit status is non-zero only if any answer differs from serial — the CI
+cluster-smoke gate.
+
+Run::
+
+    python benchmarks/bench_cluster.py [--quick] [--output PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import MaxCliqueComper, TriangleCountComper
+from repro.core import GThinkerConfig, run_job
+from repro.graph import erdos_renyi
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+#: Transport counters copied into the report from one cluster run.
+EVIDENCE_KEYS = (
+    "net:messages",
+    "net:bytes",
+    "net:bytes_local",
+    "net:bytes_same_host",
+    "net:bytes_cross_host",
+    "tcp:frames",
+    "tcp:batched_messages",
+    "tcp:payload_bytes",
+    "steal:tasks",
+    "ft:checkpoints",
+)
+
+APPS = {
+    "tc": TriangleCountComper,
+    "mcf": MaxCliqueComper,
+}
+
+NUM_NODES = 2
+
+
+def _config(num_workers: int, n: int) -> GThinkerConfig:
+    return GThinkerConfig(
+        num_workers=num_workers,
+        compers_per_worker=1,
+        task_batch_size=64,
+        cache_capacity=max(4 * n, 4096),
+        cache_buckets=64,
+        decompose_threshold=100,
+    )
+
+
+def _answer(app: str, result) -> int:
+    if app == "mcf":
+        return len(result.aggregate or ())
+    return int(result.aggregate)
+
+
+def bench_workload(app: str, n: int, avg_deg: int, seed: int,
+                   rounds: int) -> dict:
+    graph = erdos_renyi(n, avg_deg / (n - 1), seed=seed)
+    comper = APPS[app]
+    serial_cfg = _config(num_workers=1, n=n)
+    cluster_cfg = _config(num_workers=NUM_NODES, n=n)
+
+    walls = {"serial": float("inf"), "cluster": float("inf")}
+    answers = {}
+    evidence = {}
+    for _ in range(rounds):
+        for runtime, cfg in (("serial", serial_cfg), ("cluster", cluster_cfg)):
+            started = time.perf_counter()
+            result = run_job(comper, graph, cfg, runtime=runtime)
+            walls[runtime] = min(walls[runtime],
+                                 time.perf_counter() - started)
+            answers[runtime] = _answer(app, result)
+            if runtime == "cluster":
+                evidence = {k: result.metrics.get(k, 0)
+                            for k in EVIDENCE_KEYS}
+
+    total_bytes = evidence.get("net:bytes", 0) or 1
+    row = {
+        "app": app,
+        "graph": {"model": "erdos_renyi", "n": n, "avg_deg": avg_deg,
+                  "p": round(avg_deg / (n - 1), 6), "seed": seed,
+                  "num_edges": graph.num_edges},
+        "rounds": rounds,
+        "serial_wall_s": round(walls["serial"], 4),
+        "cluster_wall_s": round(walls["cluster"], 4),
+        "speedup_vs_serial": round(walls["serial"] / walls["cluster"], 3),
+        "answers": answers,
+        "answers_equal": answers["serial"] == answers["cluster"],
+        "cluster_metrics": evidence,
+        "bytes_by_locality": {
+            "local": evidence.get("net:bytes_local", 0),
+            "same_host": evidence.get("net:bytes_same_host", 0),
+            "cross_host": evidence.get("net:bytes_cross_host", 0),
+            "cross_host_fraction": round(
+                evidence.get("net:bytes_cross_host", 0) / total_bytes, 4
+            ),
+        },
+    }
+    print(f"{app} n={n} deg={avg_deg}: serial={walls['serial']:.3f}s "
+          f"cluster={walls['cluster']:.3f}s "
+          f"answers_equal={row['answers_equal']}", flush=True)
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="cluster-runtime benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graphs / fewer rounds (CI)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        grid = [(800, 10, 41), (1500, 12, 42)]
+        rounds = 2
+    else:
+        grid = [(2000, 12, 41), (5000, 16, 42), (8000, 20, 43)]
+        rounds = 3
+
+    rows = []
+    for app in ("tc", "mcf"):
+        for n, avg_deg, seed in grid:
+            rows.append(bench_workload(app, n, avg_deg, seed, rounds))
+
+    answers_equal = all(r["answers_equal"] for r in rows)
+    report = {
+        "benchmark": "cluster_runtime",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "num_nodes": NUM_NODES,
+        "speedup_valid": (os.cpu_count() or 1) >= 2,
+        "answers_equal": answers_equal,
+        "workloads": rows,
+    }
+    with open(args.output, "w", encoding="ascii") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+
+    if not answers_equal:
+        for r in rows:
+            if not r["answers_equal"]:
+                print(f"FAIL: answers differ for {r['app']} "
+                      f"n={r['graph']['n']} deg={r['graph']['avg_deg']}: "
+                      f"{r['answers']}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -158,11 +158,16 @@ def main(argv=None) -> int:
     mcf_rows = [r for r in rows if r["app"] == "mcf"]
     headline = max(mcf_rows, key=lambda r: r["speedup_vs_serial"])
     answers_equal = all(r["answers_equal"] for r in rows)
+    # On a single-core box the process runtime cannot beat serial by
+    # construction; the flag tells the CI gate the speedup number is
+    # environmental noise, not a regression.
+    speedup_valid = (os.cpu_count() or 1) >= 2
     report = {
         "benchmark": "pull_path",
         "quick": args.quick,
         "cpu_count": os.cpu_count(),
         "process_workers": _process_workers(),
+        "speedup_valid": speedup_valid,
         "speedup_vs_serial": {"process": headline["speedup_vs_serial"]},
         "headline": {"app": headline["app"],
                      "graph": headline["graph"],
@@ -180,9 +185,13 @@ def main(argv=None) -> int:
 
     ok = True
     if report["speedup_vs_serial"]["process"] < 1.0:
-        print(f"FAIL: process runtime slower than serial on MCF "
-              f"({report['speedup_vs_serial']['process']}x < 1.0x)")
-        ok = False
+        if speedup_valid:
+            print(f"FAIL: process runtime slower than serial on MCF "
+                  f"({report['speedup_vs_serial']['process']}x < 1.0x)")
+            ok = False
+        else:
+            print(f"SKIP speedup gate: cpu_count={os.cpu_count()} < 2, "
+                  f"speedup numbers are not meaningful here")
     if not answers_equal:
         bad = [r for r in rows if not r["answers_equal"]]
         for r in bad:

@@ -90,6 +90,9 @@ def compare_runtimes(quick: bool = False) -> dict:
             "decompose_threshold": config.decompose_threshold,
         },
         "cpu_count": os.cpu_count(),
+        # Single-core boxes cannot show a parallel speedup; downstream
+        # gates must not treat the ratio as a regression signal there.
+        "speedup_valid": (os.cpu_count() or 1) >= 2,
         "quick": quick,
         "oracle_clique_size": oracle_size,
         "answers_equal": all(

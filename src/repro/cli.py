@@ -69,6 +69,15 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                      default="serial")
     run.add_argument("--simulate", action="store_true",
                      help="run on the discrete-event simulated cluster")
+    run.add_argument("--hosts",
+                     help="comma-separated host:port data addresses, one per "
+                          "worker, for runtime=cluster attach mode (nodes "
+                          "started with 'repro node'); omit to spawn all "
+                          "nodes locally")
+    run.add_argument("--cluster-bind", default="127.0.0.1:0",
+                     help="host:port the cluster master's control listener "
+                          "binds (default 127.0.0.1:0 — loopback, ephemeral "
+                          "port; use 0.0.0.0:PORT for attach mode)")
     run.add_argument("--cache-capacity", type=int, default=50_000)
     run.add_argument("--batch-size", type=int, default=32)
     run.add_argument("--tau", type=int, default=None,
@@ -121,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--out", required=True)
     shard.add_argument("--num-shards", type=int, required=True)
 
+    node = sub.add_parser(
+        "node",
+        help="run one runtime=cluster worker node and attach to a master",
+    )
+    node.add_argument("--master", required=True,
+                      help="host:port of the driver's --cluster-bind listener")
+    node.add_argument("--bind", default="127.0.0.1",
+                      help="host/interface this node's data listener binds "
+                           "and advertises to its peers (default 127.0.0.1)")
+    node.add_argument("--node-id", type=int, default=-1,
+                      help="worker slot to claim (default: master assigns)")
+    node.add_argument("--connect-timeout", type=float, default=30.0,
+                      help="seconds to keep retrying the master connection")
+
     info = sub.add_parser("datasets", help="list built-in dataset stand-ins")
     info.add_argument("--scale", type=float, default=0.5)
 
@@ -166,6 +189,12 @@ def _make_config(args) -> GThinkerConfig:
     if getattr(args, "checkpoint_dir", None):
         kwargs["checkpoint_dir"] = args.checkpoint_dir
         kwargs["checkpoint_every_syncs"] = args.checkpoint_every
+    if getattr(args, "hosts", None):
+        kwargs["cluster_hosts"] = tuple(
+            h.strip() for h in args.hosts.split(",") if h.strip()
+        )
+    if getattr(args, "cluster_bind", None):
+        kwargs["cluster_bind"] = args.cluster_bind
     return GThinkerConfig(**kwargs)
 
 
@@ -225,6 +254,17 @@ def main(argv=None) -> int:
         )
         print(report.summary())
         return 0 if report.ok else 1
+
+    if args.command == "node":
+        from .core.clusterruntime import serve_node
+
+        serve_node(
+            args.master,
+            bind_host=args.bind,
+            node_id=args.node_id,
+            connect_timeout_s=args.connect_timeout,
+        )
+        return 0
 
     if args.command == "shard":
         g = read_edge_list(args.graph) if args.format == "edges" else read_adjacency(args.graph)

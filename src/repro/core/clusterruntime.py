@@ -1,0 +1,625 @@
+"""The ``runtime="cluster"`` backend: many machines over TCP.
+
+The process runtime proves the CPU-bound story on one machine; this
+backend runs the same control-plane protocol
+(:class:`~repro.core.controlplane.ControlPlaneMaster` /
+:class:`~repro.core.controlplane.NodeSession`) across machine
+boundaries:
+
+* the **data plane** is :class:`~repro.net.tcp.TcpTransport` — one
+  persistent socket per peer pair, batched per destination, each batch
+  one length-prefixed frame whose payload is byte-for-byte the GTWIRE1
+  encoding the process runtime puts on its queues;
+* the **control plane** is one :class:`~repro.net.tcp.ControlChannel`
+  per node to the master — the same command tuples the process runtime
+  sends down its pipes, pickled and framed;
+* the **graph** is shipped, not shared: the master partitions the rows
+  by the owner hash and sends each node exactly its partition during
+  the boot handshake.  No fork inheritance, no shared memory — a node
+  needs nothing but the ``repro`` package and a TCP route to the
+  master, which is what makes the multi-host claim honest.
+
+Boot handshake (per node)::
+
+    node → master   ("hello", requested_node_id)      # -1 = assign one
+    master → node   ("init", node_id, config, app_factory, rows,
+                     spill_root, snapshot, global_value, incarnation)
+    node → master   ("ready", node_id, "host:port")   # data listener
+    master → node   ("peers", ["host:port", ...])
+    node → master   ("up", node_id)
+
+Two deployment modes, selected by ``GThinkerConfig.cluster_hosts``:
+
+* **localhost spawn mode** (``cluster_hosts=None``, the default): the
+  driver spawns every node as a local process connecting back over
+  loopback.  One command runs a whole cluster — this is what tests, CI
+  and the benchmark use — and node loss is fully recoverable: the
+  master tears the node set down and reboots it from the last
+  sync-barrier checkpoint, exactly the process runtime's global
+  rollback.  Fresh ephemeral data ports every incarnation mean a stale
+  in-flight batch from the rolled-back epoch has no socket to arrive
+  on.
+* **attach mode** (``cluster_hosts`` given, one ``"host:port"`` per
+  node): nodes are started externally (``repro node --master ...``) on
+  the listed hosts and attach to the master's control listener.  The
+  protocol is identical, but the master cannot respawn a foreign
+  process: a lost node raises after writing the usual checkpoint
+  shards, and the operator restarts the nodes and resumes from the
+  shard (``resume_job`` / ``--resume-from``).
+
+Failure classification extends the process runtime's rule to the
+network: a node that *reports* :class:`~repro.core.errors.WireDecodeError`
+or :class:`~repro.net.tcp.PeerLostError` hit corrupted bytes or a dead
+peer — environment damage a rollback can clear — so its report carries
+``recoverable=True``; any other reported exception is an app/framework
+bug that would recur and fails the job immediately.  A node that says
+nothing and vanishes (killed, OOM, power) is a machine loss,
+recoverable as always.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import selectors
+import shutil
+import socket
+import tempfile
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..graph.graph import Graph
+from ..graph.io import ShardedGraphStore
+from ..net.tcp import (
+    ChannelClosed,
+    ControlChannel,
+    PeerLostError,
+    TcpTransport,
+    connect_with_retry,
+    listen_socket,
+)
+from .aggregator import GlobalAggregator
+from .checkpoint import JobCheckpoint, restore_worker
+from .config import GThinkerConfig, parse_host_port
+from .controlplane import ControlPlaneMaster, FailureInjector, NodeSession
+from .errors import (
+    CheckpointError,
+    GThinkerError,
+    WireDecodeError,
+    WorkerProcessError,
+)
+from .metrics import MetricsRegistry
+from .runtime import JobRequest
+from .worker import Worker
+
+__all__ = ["ClusterExecutor", "serve_node"]
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# ---------------------------------------------------------------------------
+# Node side
+# ---------------------------------------------------------------------------
+
+
+def _node_serve(
+    node_id: int,
+    config: GThinkerConfig,
+    app_factory,
+    rows,
+    channel: ControlChannel,
+    bind_host: str,
+    spill_root: Optional[str],
+    snapshot,
+    global_value,
+    incarnation: int,
+) -> None:
+    """Finish the handshake, then serve control commands until ``stop``.
+
+    Mirrors ``procruntime._worker_main`` with TCP in place of queues and
+    pipes; errors travel up the control channel as
+    ``("error", node_id, type, traceback, recoverable)`` where
+    ``recoverable`` marks wire corruption / peer loss (rollback-safe)
+    as opposed to app bugs (final).
+    """
+    owns_spill = spill_root is None
+    if owns_spill:
+        spill_root = tempfile.mkdtemp(prefix=f"gthinker-spill-node{node_id}-")
+    worker = None
+    transport = None
+    try:
+        metrics = MetricsRegistry()
+        transport = TcpTransport(
+            node_id,
+            config.num_workers,
+            bind_host=bind_host,
+            metrics=metrics,
+            max_batch_messages=config.ipc_batch_max_messages,
+            wire_format=config.ipc_wire_format,
+            connect_timeout_s=config.cluster_connect_timeout_s,
+        )
+        channel.send_obj(("ready", node_id, f"{bind_host}:{transport.data_port}"))
+        tag, peers = channel.recv_obj(timeout=config.control_reply_timeout_s)
+        if tag != "peers":
+            raise GThinkerError(f"expected the peer table, got {tag!r}")
+        transport.set_peers(peers)
+        channel.send_obj(("up", node_id))
+
+        worker = Worker(
+            worker_id=node_id,
+            num_workers=config.num_workers,
+            config=config,
+            app_factory=app_factory,
+            transport=transport,
+            metrics=metrics,
+            spill_dir=Path(spill_root),
+        )
+        worker.load_rows(rows)
+        if snapshot is not None:
+            restore_worker(worker, snapshot)
+            # Counters resume from the barrier's balanced values; the
+            # fresh sockets are empty, so sent==received still means
+            # "wire empty" to the termination detector.
+            transport.sent_count = snapshot.sent
+            transport.received_count = snapshot.received
+        if global_value is not None:
+            worker.aggregator.publish_global(global_value)
+        injector = FailureInjector(config.failure_plan, node_id, incarnation)
+        session = NodeSession(worker, transport, injector, metrics)
+
+        backoff = config.idle_sleep_s
+        was_drained = False
+        while True:
+            worked = session.step()
+
+            while channel.poll(0):
+                reply = session.handle(channel.recv_obj())
+                channel.send_obj(reply)
+                if session.done:
+                    return
+
+            if worked:
+                backoff = config.idle_sleep_s
+                was_drained = False
+            else:
+                drained = session.drained()
+                if drained and not was_drained:
+                    channel.send_obj(("wake", node_id))
+                was_drained = drained
+                # Block until a control command or a data-plane frame
+                # arrives, up to backoff; the channel registers by its
+                # fileno alongside the transport's sockets.
+                transport.wait_for_activity(backoff, extra=(channel,))
+                backoff = min(backoff * 2, config.idle_backoff_max_s)
+    except ChannelClosed:
+        # The master went away (job torn down / rolled back); nothing to
+        # report and no one to report it to.
+        pass
+    except BaseException as exc:
+        recoverable = isinstance(exc, (WireDecodeError, PeerLostError))
+        try:
+            channel.send_obj((
+                "error", node_id, type(exc).__name__,
+                "".join(traceback.format_exception(type(exc), exc,
+                                                   exc.__traceback__)),
+                recoverable,
+            ))
+        except Exception:
+            pass
+    finally:
+        if worker is not None:
+            worker.cleanup()
+        if transport is not None:
+            transport.close()
+        if owns_spill:
+            shutil.rmtree(spill_root, ignore_errors=True)
+        channel.close()
+
+
+def serve_node(
+    master_addr: str,
+    bind_host: str = "127.0.0.1",
+    node_id: int = -1,
+    connect_timeout_s: float = 30.0,
+) -> None:
+    """Run one cluster node against ``master_addr`` until the job ends.
+
+    The ``repro node`` CLI entry point for attach mode; localhost spawn
+    mode runs the same function in child processes.  ``node_id=-1``
+    asks the master to assign the next free slot.
+    """
+    host, port = parse_host_port(master_addr)
+    sock = connect_with_retry(host, port, connect_timeout_s, what="master")
+    channel = ControlChannel(sock)
+    channel.send_obj(("hello", node_id))
+    msg = channel.recv_obj(timeout=connect_timeout_s)
+    if not (isinstance(msg, tuple) and msg and msg[0] == "init"):
+        raise GThinkerError(f"expected init from the master, got {msg!r}")
+    (_tag, assigned_id, config, app_factory, rows, spill_root,
+     snapshot, global_value, incarnation) = msg
+    _node_serve(
+        assigned_id, config, app_factory, rows, channel, bind_host,
+        spill_root, snapshot, global_value, incarnation,
+    )
+
+
+def _spawned_node_main(
+    master_addr: str, node_id: int, connect_timeout_s: float
+) -> None:
+    """Child-process entry for localhost spawn mode.
+
+    Everything of substance (config, app, graph rows, snapshot) arrives
+    over the control channel — the identical path attach-mode nodes
+    use — so the spawn mode exercises the real multi-host protocol, not
+    a fork-inheritance shortcut.
+    """
+    try:
+        serve_node(
+            master_addr,
+            bind_host="127.0.0.1",
+            node_id=node_id,
+            connect_timeout_s=connect_timeout_s,
+        )
+    except (ChannelClosed, ConnectionError, OSError):
+        # Master torn down mid-boot (rollback or shutdown) — exit quietly.
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Master side
+# ---------------------------------------------------------------------------
+
+
+class _ClusterMaster(ControlPlaneMaster):
+    """TCP plumbing for :class:`ControlPlaneMaster`.
+
+    Owns the control listener and (in localhost spawn mode) the node
+    processes, so recovery can tear the whole node set down and reboot
+    it from the last barrier snapshot.
+    """
+
+    def __init__(
+        self,
+        config: GThinkerConfig,
+        app_factory,
+        rows_per_node: List[List],
+        spill_root: Optional[Path],
+        join_timeout_s: float,
+        checkpoint_path: Optional[str] = None,
+        abort_after_rounds: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            config=config,
+            app_factory=app_factory,
+            join_timeout_s=join_timeout_s,
+            checkpoint_path=checkpoint_path,
+            abort_after_rounds=abort_after_rounds,
+        )
+        self.rows_per_node = rows_per_node
+        self.spill_root = spill_root
+        self.attached = config.cluster_hosts is not None
+        bind_host, bind_port = parse_host_port(config.cluster_bind)
+        self.listener = listen_socket(bind_host, bind_port)
+        self.channels: List[Optional[ControlChannel]] = []
+        self.procs: List = []
+        self._ctx = mp.get_context(
+            config.process_start_method or _default_start_method()
+        )
+
+    @property
+    def control_addr(self) -> str:
+        host, port = self.listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.channels)
+
+    # -- node-set lifecycle -----------------------------------------------
+
+    def start(self, checkpoint: Optional[JobCheckpoint] = None) -> None:
+        self._last_checkpoint = checkpoint
+        if checkpoint is not None:
+            self._epoch = checkpoint.epoch
+        self._boot_nodes()
+
+    def _boot_timeout(self) -> float:
+        # Attached nodes are started by an operator; give them the
+        # control-plane budget rather than the (short) connect budget.
+        base = self.config.cluster_connect_timeout_s
+        if self.attached:
+            base = max(base, self.config.control_reply_timeout_s)
+        return base
+
+    def _accept_channel(self, deadline: float) -> ControlChannel:
+        self.listener.settimeout(max(0.05, deadline - time.monotonic()))
+        try:
+            conn, _addr = self.listener.accept()
+        except (socket.timeout, BlockingIOError) as exc:
+            raise GThinkerError(
+                f"cluster boot: not all {self.config.num_workers} nodes "
+                f"connected within {self._boot_timeout()}s"
+            ) from exc
+        finally:
+            self.listener.settimeout(None)
+            self.listener.setblocking(False)
+        return ControlChannel(conn)
+
+    def _boot_nodes(self) -> None:
+        config = self.config
+        n = config.num_workers
+        ckpt = self._last_checkpoint
+        # The aggregator rolls back with the nodes: partials folded
+        # after the barrier belong to work that will be redone.
+        self.global_aggregator = GlobalAggregator(
+            self.app_factory().make_aggregator()
+        )
+        if ckpt is not None:
+            self.global_aggregator.set_value(ckpt.aggregator_global)
+        global_value = self.global_aggregator.value if ckpt is not None else None
+
+        if not self.attached:
+            self.procs = []
+            addr = self.control_addr
+            for nid in range(n):
+                proc = self._ctx.Process(
+                    target=_spawned_node_main,
+                    args=(addr, nid, config.cluster_connect_timeout_s),
+                    name=f"gthinker-node-{nid}",
+                    daemon=True,
+                )
+                proc.start()
+                self.procs.append(proc)
+
+        deadline = time.monotonic() + self._boot_timeout()
+        channels: List[Optional[ControlChannel]] = [None] * n
+        unassigned = [nid for nid in range(n)]
+        for _ in range(n):
+            chan = self._accept_channel(deadline)
+            msg = chan.recv_obj(timeout=max(0.05, deadline - time.monotonic()))
+            if not (isinstance(msg, tuple) and msg and msg[0] == "hello"):
+                raise GThinkerError(f"expected hello from a node, got {msg!r}")
+            requested = msg[1]
+            if requested == -1:
+                nid = unassigned[0]
+            elif requested in unassigned:
+                nid = requested
+            else:
+                raise GThinkerError(
+                    f"node requested id {requested}, which is out of range "
+                    f"or already taken"
+                )
+            unassigned.remove(nid)
+            snap = ckpt.worker_snapshots[nid] if ckpt is not None else None
+            spill = str(self.spill_root) if self.spill_root else None
+            chan.send_obj((
+                "init", nid, config, self.app_factory,
+                self.rows_per_node[nid], spill, snap, global_value,
+                self._incarnation,
+            ))
+            channels[nid] = chan
+
+        peers: List[Optional[str]] = [None] * n
+        for nid in range(n):
+            msg = channels[nid].recv_obj(
+                timeout=max(0.05, deadline - time.monotonic())
+            )
+            if not (isinstance(msg, tuple) and msg[0] == "ready"):
+                raise GThinkerError(f"expected ready from node {nid}, got {msg!r}")
+            peers[msg[1]] = msg[2]
+        for nid in range(n):
+            channels[nid].send_obj(("peers", peers))
+        for nid in range(n):
+            msg = channels[nid].recv_obj(
+                timeout=max(0.05, deadline - time.monotonic())
+            )
+            if not (isinstance(msg, tuple) and msg[0] == "up"):
+                raise GThinkerError(f"expected up from node {nid}, got {msg!r}")
+        self.channels = channels
+
+    def _terminate_nodes(self) -> None:
+        for chan in self.channels:
+            if chan is not None:
+                chan.close()
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self.channels, self.procs = [], []
+
+    def _recover(self) -> None:
+        """Global rollback: reboot the node set from the last barrier."""
+        if self.attached:
+            # A foreign process cannot be respawned from here.  The last
+            # checkpoint shard (if a checkpoint_path was given) is on
+            # disk; restart the nodes and resume from it.
+            raise GThinkerError(
+                "a cluster node was lost and cluster_hosts nodes are "
+                "started externally — restart them and resume from the "
+                "checkpoint shard (resume_job / --resume-from)"
+            )
+        self._terminate_nodes()
+        self._incarnation += 1
+        self.metrics.add("ft:recoveries")
+        self._boot_nodes()
+
+    def shutdown(self) -> None:
+        self._terminate_nodes()
+        try:
+            self.listener.close()
+        except OSError:  # pragma: no cover - teardown best effort
+            pass
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _raise_from_report(self, msg) -> None:
+        """Raise when ``msg`` is a node's error report; else return."""
+        if isinstance(msg, tuple) and msg and msg[0] == "error":
+            _tag, nid, exc_type, tb, recoverable = msg
+            raise WorkerProcessError(
+                nid, f"{exc_type} raised:\n{tb}", recoverable=recoverable
+            )
+
+    def _send(self, node_id: int, cmd) -> None:
+        chan = self.channels[node_id]
+        try:
+            chan.send_obj(cmd)
+        except ChannelClosed as exc:
+            # Drain buffered frames for an error report before labelling
+            # this a silent machine loss.
+            try:
+                while chan.poll(0.05):
+                    self._raise_from_report(chan.recv_obj())
+            except (ChannelClosed, WireDecodeError):
+                pass
+            raise WorkerProcessError(
+                node_id, "control channel closed unexpectedly",
+                recoverable=True,
+            ) from exc
+
+    def _recv(self, node_id: int, timeout: Optional[float] = None):
+        if timeout is None:
+            timeout = self.config.control_reply_timeout_s
+        chan = self.channels[node_id]
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if not chan.poll(min(0.1, max(0.0, deadline - time.monotonic()))):
+                    if time.monotonic() >= deadline:
+                        raise WorkerProcessError(
+                            node_id,
+                            f"no control-plane reply within {timeout}s",
+                            recoverable=True,
+                        )
+                    continue
+                msg = chan.recv_obj()
+            except (ChannelClosed, WireDecodeError) as exc:
+                raise WorkerProcessError(
+                    node_id, f"control channel lost: {exc}",
+                    recoverable=True,
+                ) from exc
+            self._raise_from_report(msg)
+            if isinstance(msg, tuple) and msg and msg[0] == "wake":
+                # Unsolicited idle notification racing a request-reply
+                # exchange; the reply we are waiting for is behind it.
+                continue
+            return msg
+
+    def _wait_for_wake(self, timeout: float) -> bool:
+        """Sleep up to ``timeout``, waking early on a node's unsolicited
+        ``("wake", nid)``; raises on error reports and channel loss."""
+        deadline = time.monotonic() + timeout
+        woke = False
+        while True:
+            for nid, chan in enumerate(self.channels):
+                try:
+                    while chan.poll(0):
+                        msg = chan.recv_obj()
+                        self._raise_from_report(msg)
+                        if isinstance(msg, tuple) and msg and msg[0] == "wake":
+                            woke = True
+                except (ChannelClosed, WireDecodeError) as exc:
+                    raise WorkerProcessError(
+                        nid, f"control channel lost while idle: {exc}",
+                        recoverable=True,
+                    ) from exc
+            remaining = deadline - time.monotonic()
+            if woke or remaining <= 0:
+                return woke
+            with selectors.DefaultSelector() as sel:
+                for chan in self.channels:
+                    try:
+                        sel.register(chan, selectors.EVENT_READ)
+                    except (KeyError, ValueError, OSError):
+                        return True  # a dead fd; let the next sweep report it
+                sel.select(min(remaining, 0.25))
+
+
+# ---------------------------------------------------------------------------
+# The executor registered as runtime="cluster"
+# ---------------------------------------------------------------------------
+
+
+class ClusterExecutor:
+    """``execute(JobRequest) -> JobResult`` via TCP-connected nodes."""
+
+    def __init__(self, join_timeout_s: float = 600.0) -> None:
+        self.join_timeout_s = join_timeout_s
+
+    def execute(self, request: JobRequest):
+        from .job import JobResult, _partition_rows  # deferred: job.py imports us lazily
+
+        config = request.config
+        app_factory = request.app_factory
+        try:
+            pickle.dumps(app_factory)
+        except Exception as exc:
+            raise GThinkerError(
+                f"runtime='cluster' requires a picklable app_factory "
+                f"(a Comper class or functools.partial, not a lambda or "
+                f"closure): {exc!r}"
+            ) from exc
+
+        ckpt = request.checkpoint
+        if ckpt is not None and ckpt.num_workers != config.num_workers:
+            raise CheckpointError(
+                f"checkpoint was taken with {ckpt.num_workers} workers, "
+                f"job has {config.num_workers}"
+            )
+
+        graph = request.graph
+        if isinstance(graph, ShardedGraphStore):
+            graph = graph.load_full_graph()
+        if not isinstance(graph, Graph):
+            raise TypeError(f"unsupported graph source {type(request.graph)!r}")
+
+        started = time.perf_counter()
+        rows_per_node = _partition_rows(graph, config.num_workers)
+        # The master owns the spill root only in localhost spawn mode;
+        # attached nodes are (possibly) on other machines and make their
+        # own temp dirs.
+        attached = config.cluster_hosts is not None
+        owns_spill = not attached and config.spill_dir is None
+        if attached:
+            spill_root = None
+        elif config.spill_dir:
+            spill_root = Path(config.spill_dir)
+        else:
+            spill_root = Path(tempfile.mkdtemp(prefix="gthinker-spill-cluster-"))
+        master = _ClusterMaster(
+            config=config,
+            app_factory=app_factory,
+            rows_per_node=rows_per_node,
+            spill_root=spill_root,
+            join_timeout_s=self.join_timeout_s,
+            checkpoint_path=request.checkpoint_path,
+            abort_after_rounds=request.abort_after_rounds,
+        )
+        try:
+            master.start(checkpoint=ckpt)
+            finals = master.run()
+
+            merged = MetricsRegistry()
+            merged.merge_from(master.metrics)
+            outputs: List[Any] = []
+            for final in sorted(finals, key=lambda f: f.worker_id):
+                merged.merge_from(MetricsRegistry.from_snapshot(final.metrics))
+                outputs.extend(final.outputs)
+            for proc in master.procs:
+                proc.join(timeout=10.0)
+            return JobResult(
+                aggregate=master.global_aggregator.value,
+                outputs=outputs,
+                metrics=merged.snapshot(),
+                elapsed_s=time.perf_counter() - started,
+                num_workers=config.num_workers,
+                compers_per_worker=config.compers_per_worker,
+            )
+        finally:
+            master.shutdown()
+            if owns_spill and spill_root is not None:
+                shutil.rmtree(spill_root, ignore_errors=True)

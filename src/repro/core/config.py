@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 __all__ = [
     "GThinkerConfig",
@@ -17,7 +17,26 @@ __all__ = [
     "NetworkModel",
     "DiskModel",
     "MachineModel",
+    "parse_host_port",
 ]
+
+
+def parse_host_port(spec: str) -> Tuple[str, int]:
+    """Parse a ``"host:port"`` string; raises ``ValueError`` with the
+    offending value on malformed entries (shared by the config validator,
+    the CLI and the TCP transport)."""
+    if not isinstance(spec, str) or ":" not in spec:
+        raise ValueError(f"expected 'host:port', got {spec!r}")
+    host, _, port_s = spec.rpartition(":")
+    if not host:
+        raise ValueError(f"expected 'host:port', got {spec!r}")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"non-numeric port in {spec!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in {spec!r}")
+    return host, port
 
 
 @dataclass(frozen=True)
@@ -229,6 +248,22 @@ class GThinkerConfig:
         ``int64`` buffers and are decoded as zero-copy ``np.frombuffer``
         views; ``"pickle"`` keeps the one-pickle-per-batch encoding
         (useful for A/B-measuring payload sizes).
+    cluster_hosts:
+        ``runtime="cluster"`` only: one ``"host:port"`` data-plane
+        address per node (= per worker).  ``None`` (the default) selects
+        single-command localhost mode — the executor spawns every node
+        process itself on ephemeral loopback ports.  When given, the
+        executor *attaches*: each node must already be running
+        ``python -m repro node --node-id K --master ...`` and bind its
+        listed address.
+    cluster_bind:
+        ``runtime="cluster"`` only: ``"host:port"`` the master's control
+        channel listens on (port 0 = ephemeral, fine for localhost mode;
+        attached multi-host runs need a concrete port the nodes can
+        reach).
+    cluster_connect_timeout_s:
+        ``runtime="cluster"`` only: how long a node retries a data-plane
+        connect to a peer before declaring the peer lost.
     checkpoint_dir / spill_dir:
         Filesystem locations (spill_dir defaults to a temp dir per job).
     seed:
@@ -265,6 +300,9 @@ class GThinkerConfig:
     process_start_method: Optional[str] = None
     ipc_batch_max_messages: int = 64
     ipc_wire_format: str = "binary"
+    cluster_hosts: Optional[Tuple[str, ...]] = None
+    cluster_bind: str = "127.0.0.1:0"
+    cluster_connect_timeout_s: float = 10.0
     seed: int = 0
 
     network: NetworkModel = field(default_factory=NetworkModel)
@@ -284,8 +322,24 @@ class GThinkerConfig:
             raise ValueError("cache_overflow_alpha must be >= 0")
         if self.cache_buckets < 1:
             raise ValueError("cache_buckets must be >= 1")
+        if self.cache_count_delta < 1:
+            raise ValueError("cache_count_delta must be >= 1")
         if self.decompose_threshold < 2:
             raise ValueError("decompose_threshold must be >= 2")
+        if self.sync_every_rounds < 1:
+            # 0 would divide (serial sync cadence is `rounds % N`) and a
+            # negative value would never trigger a sync at all.
+            raise ValueError("sync_every_rounds must be >= 1")
+        if self.steal_enabled and self.steal_batches < 1:
+            raise ValueError(
+                "steal_batches must be >= 1 when steal_enabled is True"
+            )
+        if self.aggregator_sync_period_s <= 0:
+            raise ValueError("aggregator_sync_period_s must be > 0")
+        if self.pending_threshold is not None and self.pending_threshold < 0:
+            # 0 is meaningful (a comper with any pending task may not pop
+            # more); negative thresholds would gate every pop forever.
+            raise ValueError("pending_threshold must be >= 0 when given")
         if self.inline_iteration_limit is not None and self.inline_iteration_limit < 1:
             raise ValueError("inline_iteration_limit must be >= 1")
         if self.ipc_batch_max_messages < 1:
@@ -314,6 +368,27 @@ class GThinkerConfig:
             raise ValueError("worker_restart_backoff_s must be >= 0")
         if self.control_reply_timeout_s <= 0:
             raise ValueError("control_reply_timeout_s must be > 0")
+        if self.cluster_hosts is not None:
+            if not isinstance(self.cluster_hosts, tuple):
+                object.__setattr__(self, "cluster_hosts",
+                                   tuple(self.cluster_hosts))
+            if len(self.cluster_hosts) != self.num_workers:
+                raise ValueError(
+                    f"cluster_hosts lists {len(self.cluster_hosts)} nodes "
+                    f"but num_workers is {self.num_workers} (one host per "
+                    f"worker)"
+                )
+            for spec in self.cluster_hosts:
+                try:
+                    parse_host_port(spec)
+                except ValueError as exc:
+                    raise ValueError(f"cluster_hosts: {exc}") from None
+        try:
+            parse_host_port(self.cluster_bind)
+        except ValueError as exc:
+            raise ValueError(f"cluster_bind: {exc}") from None
+        if self.cluster_connect_timeout_s <= 0:
+            raise ValueError("cluster_connect_timeout_s must be > 0")
         if self.failure_plan is not None and self.failure_plan.kill_worker is not None:
             if self.failure_plan.kill_worker >= self.num_workers:
                 raise ValueError(

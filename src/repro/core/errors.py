@@ -11,12 +11,26 @@ __all__ = [
     "ProtocolViolation",
     "UnknownRuntimeError",
     "UnsupportedRuntimeFeature",
+    "WireDecodeError",
     "WorkerProcessError",
 ]
 
 
 class GThinkerError(Exception):
     """Base class for all framework errors."""
+
+
+class WireDecodeError(GThinkerError, ValueError):
+    """A wire payload could not be decoded.
+
+    Raised by :mod:`repro.net.wire` (and the TCP framing layer) for
+    truncated frames, frame lengths pointing past the end of the buffer,
+    negative counts, unknown frame kinds, and non-GTWIRE payloads that
+    also fail the pickle fallback.  A ``ValueError`` subclass so callers
+    that guarded the old raw errors keep working, but typed so transports
+    receiving bytes from a network can distinguish "corrupt payload"
+    (drop/rollback) from a framework bug.
+    """
 
 
 class UnknownRuntimeError(GThinkerError, ValueError):

@@ -215,7 +215,7 @@ class ClusterRuntimeExecutor:
             # worker-kill plans need real worker processes to kill.
             raise UnsupportedRuntimeFeature(
                 "config.failure_plan (worker-kill injection) requires "
-                "runtime='process'"
+                "runtime='process' or runtime='cluster'"
             )
         cluster = build_cluster(request.app_factory, request.graph, config)
         if request.checkpoint is not None:
@@ -265,6 +265,13 @@ def _process_executor():
     return ProcessExecutor()
 
 
+def _cluster_executor():
+    # Imported lazily: the cluster backend pulls in sockets/selectors.
+    from .clusterruntime import ClusterExecutor
+
+    return ClusterExecutor()
+
+
 register_runtime(
     "serial",
     SerialExecutor,
@@ -289,6 +296,20 @@ register_runtime(
 register_runtime(
     "process",
     _process_executor,
+    RuntimeCapabilities(
+        checkpointing=True, failure_injection=True,
+        protocol_checking=True, resume=True,
+    ),
+    replace=True,
+)
+register_runtime(
+    "cluster",
+    _cluster_executor,
+    # Honest capabilities: checkpointing, injected node kills with
+    # global-rollback recovery, and shard resume all work (recovery by
+    # respawn only in localhost spawn mode — attach mode raises with
+    # resume guidance).  Protocol checking runs node-local like the
+    # process runtime's.
     RuntimeCapabilities(
         checkpointing=True, failure_injection=True,
         protocol_checking=True, resume=True,

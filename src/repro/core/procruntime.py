@@ -11,11 +11,12 @@ backend runs one OS process per worker:
   :class:`~repro.net.transport.ProcessTransport` — batched per
   destination, drained through ``multiprocessing`` queues (the paper's
   batched sending applied to IPC);
-* a control plane of per-worker pipes carries the master protocol:
-  periodic syncs (aggregator partials up, global value down, status
-  snapshot for termination detection), master-coordinated steal
-  commands, sync-barrier checkpoints, and the final report (outputs +
-  metrics snapshot), with each worker's
+* a control plane of per-worker pipes carries the master protocol of
+  :class:`~repro.core.controlplane.ControlPlaneMaster`: periodic syncs
+  (aggregator partials up, global value down, status snapshot for
+  termination detection), master-coordinated steal commands,
+  sync-barrier checkpoints, and the final report (outputs + metrics
+  snapshot), with each worker's
   :class:`~repro.core.metrics.MetricsRegistry` merged into the parent
   via ``merge_from`` at join time.
 
@@ -77,138 +78,47 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import multiprocessing.connection as mp_connection
-import os
 import pickle
-import random
 import shutil
 import tempfile
 import time
 import traceback
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional
 
 from ..graph.csr import SharedCSR
 from ..graph.graph import Graph
 from ..graph.io import ShardedGraphStore
-from ..net.message import TaskBatchTransfer
 from ..net.transport import ProcessTransport
 from .aggregator import GlobalAggregator
-from .checkpoint import JobCheckpoint, WorkerSnapshot, restore_worker, snapshot_worker
-from .config import FailurePlanConfig, GThinkerConfig
-from .errors import (
-    CheckpointError,
-    GThinkerError,
-    JobAbortedError,
-    WorkerProcessError,
+from .checkpoint import JobCheckpoint, restore_worker
+from .config import GThinkerConfig
+from .controlplane import (
+    ControlPlaneMaster,
+    FailureInjector,
+    NodeFinal,
+    NodeSession,
+    NodeStatus,
 )
+from .errors import CheckpointError, GThinkerError, WorkerProcessError
 from .metrics import MetricsRegistry
 from .runtime import JobRequest
 from .worker import Worker
 
 __all__ = ["ProcessExecutor"]
 
+# Backwards-compatible aliases: the protocol types moved to
+# controlplane.py when runtime="cluster" started sharing them.
+_Status = NodeStatus
+_Final = NodeFinal
+_FailureInjector = FailureInjector
+
 #: How long `_send` drains a broken pipe looking for the error report.
 _ERROR_DRAIN_S = 1.0
-
-#: Engine steps a worker runs between control-plane/inbox polls.  Bounds
-#: the extra latency of answering a sync or serving a pull at one burst
-#: (engine steps end early when no engine has work); big enough that the
-#: per-round polling overhead is noise next to the mining work.
-_ENGINE_BURST_STEPS = 32
-
-
-@dataclass
-class _Status:
-    """One worker's answer to a sync command."""
-
-    worker_id: int
-    tasks_in_memory: int
-    tasks_on_disk: int
-    unspawned: int
-    outgoing: int
-    sent: int
-    received: int
-    progress: int
-    workload: int
-    partial: Any
-
-
-@dataclass
-class _Final:
-    """One worker's end-of-job report."""
-
-    worker_id: int
-    outputs: List[Any]
-    metrics: Dict[str, float]
-    partial: Any
 
 
 def _default_start_method() -> str:
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-
-
-# ---------------------------------------------------------------------------
-# Failure injection (worker side)
-# ---------------------------------------------------------------------------
-
-
-class _FailureInjector:
-    """Kills this worker process per its :class:`FailurePlanConfig`.
-
-    Death is ``os._exit`` — no cleanup, no error report up the pipe —
-    so the parent observes exactly what a machine loss looks like.
-    """
-
-    def __init__(
-        self,
-        plan: Optional[FailurePlanConfig],
-        worker_id: int,
-        incarnation: int,
-    ) -> None:
-        self._plan = plan
-        self._worker_id = worker_id
-        self._counts: Dict[str, int] = {}
-        self.active = (
-            plan is not None
-            and (incarnation == 0 or plan.rearm)
-            and (plan.kill_worker is None or plan.kill_worker == worker_id)
-        )
-        # Incarnation perturbs the stream so a rearmed random plan does
-        # not replay the same kill schedule after every recovery.
-        self._rng = random.Random(
-            ((plan.seed if plan else 0) << 8) ^ worker_id ^ (incarnation * 7919)
-        )
-
-    def fire(self, event: str) -> None:
-        """Record one occurrence of ``event``; die if the plan says so."""
-        if not self.active:
-            return
-        plan = self._plan
-        if plan.when == "random":
-            if event == "sync" and self._rng.random() < plan.probability:
-                os._exit(plan.exit_code)
-            return
-        if event != plan.when:
-            return
-        count = self._counts.get(event, 0) + 1
-        self._counts[event] = count
-        if count == plan.at_count and (
-            plan.probability >= 1.0 or self._rng.random() < plan.probability
-        ):
-            os._exit(plan.exit_code)
-
-    def observe_round(self, worker: Worker) -> None:
-        """Round-boundary triggers: mid-spawn cursor, non-empty L_file."""
-        if not self.active:
-            return
-        when = self._plan.when
-        if when == "spawn":
-            if 0 < worker.spawn_cursor() < worker.num_local_vertices:
-                self.fire("spawn")
-        elif when == "spill":
-            if len(worker.l_file) > 0:
-                self.fire("spill")
 
 
 # ---------------------------------------------------------------------------
@@ -233,11 +143,10 @@ def _worker_main(
     Steps its worker's components (comm service, comper engines, GC)
     round-robin — the per-machine layout of the serial runtime, but with
     every machine on its own core — and answers control commands from
-    the parent between rounds.  The spill directory lives under a
-    parent-owned root, so a ``terminate()`` during recovery cannot leak
-    it.  While *quiesced* (checkpoint barrier) only the comm service
-    steps: pulls keep being served and responses delivered, but no new
-    work starts, so the wire drains to a provably empty state.
+    the parent between rounds, both via the shared
+    :class:`~repro.core.controlplane.NodeSession` machine.  The spill
+    directory lives under a parent-owned root, so a ``terminate()``
+    during recovery cannot leak it.
     """
     csr = None
     worker = None
@@ -270,7 +179,8 @@ def _worker_main(
             transport.received_count = snapshot.received
         if global_value is not None:
             worker.aggregator.publish_global(global_value)
-        injector = _FailureInjector(config.failure_plan, worker_id, incarnation)
+        injector = FailureInjector(config.failure_plan, worker_id, incarnation)
+        session = NodeSession(worker, transport, injector, metrics)
 
         # Adaptive idle wait: back off exponentially while nothing
         # happens, waking promptly on either a control command or an
@@ -285,126 +195,20 @@ def _worker_main(
         backoff = config.idle_sleep_s
         was_drained = False
 
-        quiesced = False
         while True:
-            worked = worker.comm.step()
-            if not quiesced:
-                # Run a burst of engine steps per control-plane round:
-                # the inbox poll (an Empty-exception probe on an
-                # mp.Queue) and the conn.poll syscall cost more than a
-                # cheap task iteration, so paying them once per step
-                # made the 1-worker process runtime measurably slower
-                # than serial.  A burst amortizes that fixed cost while
-                # also letting parked tasks' requests accumulate into
-                # fewer, larger flush batches.  The burst ends early the
-                # moment no engine makes progress, so pull latency only
-                # grows while there is local work to overlap it with.
-                for _ in range(_ENGINE_BURST_STEPS):
-                    stepped = False
-                    for engine in worker.engines:
-                        stepped = engine.step() or stepped
-                    # GC and the failure injector keep per-step (not
-                    # per-burst) granularity: spill pressure must be
-                    # relieved as it builds, and injection triggers
-                    # count scheduler rounds *observing* a transient
-                    # condition (mid-spawn cursor, fresh spill) that
-                    # can appear and clear within one burst.
-                    stepped = worker.gc_step() or stepped
-                    injector.observe_round(worker)
-                    worked = worked or stepped
-                    if not stepped:
-                        break
+            worked = session.step()
 
             while conn.poll(0):
-                cmd = conn.recv()
-                tag = cmd[0]
-                if tag == "sync":
-                    # Injected death *before* the reply: the master is
-                    # left waiting mid-protocol, like a machine loss.
-                    injector.fire("sync")
-                    worker.aggregator.publish_global(cmd[1])
-                    # This loop is the process's only cache-mutating
-                    # thread, so flushing here makes s_cache exact and
-                    # the lock-acquisition metric current at every sync.
-                    worker.cache.flush_local_counter()
-                    worker.cache.commit_lock_metrics()
-                    worker.update_memory_gauge()
-                    transport.flush_outgoing()
-                    conn.send(_Status(
-                        worker_id=worker_id,
-                        tasks_in_memory=worker.tasks_in_memory(),
-                        tasks_on_disk=len(worker.l_file),
-                        unspawned=worker.unspawned_count(),
-                        outgoing=(worker.comm.pending_outgoing()
-                                  + transport.pending_unflushed()),
-                        sent=transport.sent_count,
-                        received=transport.received_count,
-                        progress=worker.progress.value,
-                        workload=worker.remaining_workload_estimate(),
-                        partial=worker.aggregator.take_partial(),
-                    ))
-                elif tag == "steal":
-                    injector.fire("steal")
-                    _tag, thief_id, max_tasks = cmd
-                    payload_info = worker.l_file.take_payload()
-                    if payload_info is None:
-                        payload_info = worker.spawn_batch_payload(max_tasks)
-                    moved = 0
-                    if payload_info is not None:
-                        payload, moved = payload_info
-                        transport.send(TaskBatchTransfer(
-                            src=worker_id, dst=thief_id,
-                            payload=payload, num_tasks=moved,
-                        ))
-                        transport.flush_outgoing()
-                    conn.send(("stolen", moved))
-                elif tag == "quiesce":
-                    quiesced = True
-                    conn.send(("quiesced", worker_id))
-                elif tag == "qstatus":
-                    transport.flush_outgoing()
-                    conn.send((
-                        "qstatus", worker_id,
-                        transport.sent_count, transport.received_count,
-                        worker.comm.pending_outgoing()
-                        + transport.pending_unflushed(),
-                    ))
-                elif tag == "checkpoint":
-                    snap = snapshot_worker(worker)
-                    snap.partial = worker.aggregator.take_partial()
-                    snap.sent = transport.sent_count
-                    snap.received = transport.received_count
-                    conn.send(snap)
-                elif tag == "resume":
-                    worker.aggregator.publish_global(cmd[1])
-                    quiesced = False
-                    conn.send(("resumed", worker_id))
-                elif tag == "stop":
-                    worker.cache.flush_local_counter()
-                    worker.cache.commit_lock_metrics()
-                    worker.update_memory_gauge()
-                    conn.send(_Final(
-                        worker_id=worker_id,
-                        outputs=worker.outputs(),
-                        metrics=metrics.snapshot(),
-                        partial=worker.aggregator.take_partial(),
-                    ))
+                reply = session.handle(conn.recv())
+                conn.send(reply)
+                if session.done:
                     return
-                else:
-                    raise GThinkerError(f"unknown control command {tag!r}")
 
             if worked:
                 backoff = config.idle_sleep_s
                 was_drained = False
             else:
-                drained = (
-                    not quiesced
-                    and worker.tasks_in_memory() == 0
-                    and len(worker.l_file) == 0
-                    and worker.unspawned_count() == 0
-                    and worker.comm.pending_outgoing() == 0
-                    and transport.pending_unflushed() == 0
-                )
+                drained = session.drained()
                 if drained and not was_drained:
                     conn.send(("wake", worker_id))
                 was_drained = drained
@@ -431,8 +235,8 @@ def _worker_main(
 # ---------------------------------------------------------------------------
 
 
-class _ProcessMaster:
-    """Drives the control plane: syncs, steals, checkpoints, recovery.
+class _ProcessMaster(ControlPlaneMaster):
+    """Pipe/queue plumbing for :class:`ControlPlaneMaster`.
 
     Owns the worker set (queues, pipes, processes) so it can tear the
     whole set down and respawn it from the last barrier snapshot when a
@@ -450,25 +254,25 @@ class _ProcessMaster:
         checkpoint_path: Optional[str] = None,
         abort_after_rounds: Optional[int] = None,
     ) -> None:
+        super().__init__(
+            config=config,
+            app_factory=app_factory,
+            join_timeout_s=join_timeout_s,
+            checkpoint_path=checkpoint_path,
+            abort_after_rounds=abort_after_rounds,
+        )
         self.ctx = ctx
-        self.config = config
-        self.app_factory = app_factory
         self.csr_meta = csr_meta
         self.spill_root = spill_root
-        self.join_timeout_s = join_timeout_s
-        self.checkpoint_path = checkpoint_path
-        self.abort_after_rounds = abort_after_rounds
-        self.metrics = MetricsRegistry()
-        self.global_aggregator = GlobalAggregator(app_factory().make_aggregator())
         self.procs: List = []
         self.conns: List = []
         self.data_queues: List = []
-        self._incarnation = 0
-        self._epoch = 0
-        self._last_checkpoint: Optional[JobCheckpoint] = None
-        self._deadline = float("inf")
 
     # -- worker-set lifecycle ---------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.conns)
 
     def start(self, checkpoint: Optional[JobCheckpoint] = None) -> None:
         """Spawn the initial worker set, optionally seeded from a shard."""
@@ -611,122 +415,6 @@ class _ProcessMaster:
                 recoverable=True,
             ) from exc
 
-    # -- protocol ---------------------------------------------------------
-
-    def _sweep(self) -> List[_Status]:
-        value = self.global_aggregator.value
-        for wid in range(len(self.conns)):
-            self._send(wid, ("sync", value))
-        statuses = []
-        for wid in range(len(self.conns)):
-            msg = self._recv(wid)
-            if not isinstance(msg, _Status):
-                raise WorkerProcessError(
-                    wid, f"expected a status report, got {type(msg).__name__}"
-                )
-            statuses.append(msg)
-        for s in statuses:
-            self.global_aggregator.fold(s.partial)
-        return statuses
-
-    def _plan_steals(self, statuses: List[_Status]) -> None:
-        """Workload-proportional steal plan with ping-pong hysteresis.
-
-        Mirrors :meth:`repro.core.master.Master._plan_and_execute_steals`:
-        the per-pair transfer is ``max(batch, gap // 4)`` capped at
-        ``steal_batches`` batches (halving the gap without overshoot),
-        and a pair that moved work one way in the previous sweep is not
-        reversed in this one.
-        """
-        if not self.config.steal_enabled or len(statuses) < 2:
-            return
-        estimates = [[s.workload, s.worker_id] for s in statuses]
-        batch = self.config.task_batch_size
-        cap = self.config.steal_batches * batch
-        prev_pairs = getattr(self, "_last_steal_pairs", frozenset())
-        pairs = set()
-        for _ in range(self.config.steal_batches):
-            estimates.sort()
-            low, high = estimates[0], estimates[-1]
-            gap = high[0] - low[0]
-            if gap <= 2 * batch:
-                break
-            if (low[1], high[1]) in prev_pairs:
-                break
-            amount = max(batch, min(gap // 4, cap))
-            self._send(high[1], ("steal", low[1], amount))
-            reply = self._recv(high[1])
-            moved = reply[1] if isinstance(reply, tuple) else 0
-            if moved == 0:
-                break
-            pairs.add((high[1], low[1]))
-            low[0] += moved
-            high[0] -= moved
-            self.metrics.add("steal:batches")
-            self.metrics.add("steal:tasks", moved)
-        self._last_steal_pairs = frozenset(pairs)
-
-    def _checkpoint(self) -> None:
-        """The sync-barrier checkpoint protocol (see module docstring)."""
-        n = len(self.conns)
-        for wid in range(n):
-            self._send(wid, ("quiesce",))
-        for wid in range(n):
-            self._recv(wid)  # ("quiesced", wid)
-        # Settle the wire: with engines paused, only in-transit pulls and
-        # responses remain; they drain in finitely many comm steps.  When
-        # globally sent == received with nothing buffered on any sender,
-        # no message exists in any queue (and every parked task has its
-        # responses delivered), so the snapshot set is closed.
-        while True:
-            replies = []
-            for wid in range(n):
-                self._send(wid, ("qstatus",))
-            for wid in range(n):
-                replies.append(self._recv(wid))
-            sent = sum(r[2] for r in replies)
-            received = sum(r[3] for r in replies)
-            pending = sum(r[4] for r in replies)
-            if sent == received and pending == 0:
-                break
-            if time.monotonic() > self._deadline:
-                raise GThinkerError(
-                    "checkpoint barrier did not settle before the job deadline"
-                )
-            time.sleep(0.001)
-        snaps: List[WorkerSnapshot] = []
-        for wid in range(n):
-            self._send(wid, ("checkpoint",))
-        for wid in range(n):
-            msg = self._recv(wid)
-            if not isinstance(msg, WorkerSnapshot):
-                raise WorkerProcessError(
-                    wid, f"expected a worker snapshot, got {type(msg).__name__}"
-                )
-            snaps.append(msg)
-        for snap in snaps:
-            # Fold the barrier partials now; clear them so a restore
-            # cannot double-apply what is already in aggregator_global.
-            self.global_aggregator.fold(snap.partial)
-            snap.partial = None
-        self._epoch += 1
-        ckpt = JobCheckpoint(
-            worker_snapshots=snaps,
-            aggregator_global=self.global_aggregator.value,
-            num_workers=n,
-            compers_per_worker=self.config.compers_per_worker,
-            epoch=self._epoch,
-        )
-        self._last_checkpoint = ckpt
-        if self.checkpoint_path:
-            ckpt.save(self.checkpoint_path)
-        self.metrics.add("ft:checkpoints")
-        value = self.global_aggregator.value
-        for wid in range(n):
-            self._send(wid, ("resume", value))
-        for wid in range(n):
-            self._recv(wid)  # ("resumed", wid)
-
     def _wait_for_wake(self, timeout: float) -> bool:
         """Sleep up to ``timeout``, returning early (True) on a worker's
         unsolicited ``("wake", wid)`` idle notification.
@@ -765,85 +453,6 @@ class _ProcessMaster:
             if isinstance(msg, tuple) and msg and msg[0] == "wake":
                 woke = True
         return woke
-
-    def _run_to_completion(self) -> List[_Final]:
-        prev_idle = False
-        prev_progress = -1
-        sweeps = 0
-        sweep_wait = self.config.idle_sleep_s
-        while True:
-            statuses = self._sweep()
-            sweeps += 1
-            self._plan_steals(statuses)
-            every = self.config.checkpoint_every_syncs
-            if every > 0 and sweeps % every == 0:
-                self._checkpoint()
-            if (self.abort_after_rounds is not None
-                    and sweeps >= self.abort_after_rounds):
-                # Checked after the checkpoint cadence so an aborted job
-                # leaves a shard behind for resume_job.
-                raise JobAbortedError(
-                    f"process job aborted after {sweeps} sync sweeps"
-                )
-            idle = (
-                all(
-                    s.tasks_in_memory == 0 and s.tasks_on_disk == 0
-                    and s.unspawned == 0 and s.outgoing == 0
-                    for s in statuses
-                )
-                and sum(s.sent for s in statuses)
-                == sum(s.received for s in statuses)
-            )
-            progress = sum(s.progress for s in statuses)
-            if idle and prev_idle and progress == prev_progress:
-                break
-            prev_idle, prev_progress = idle, progress
-            if time.monotonic() > self._deadline:
-                raise GThinkerError(
-                    f"process job exceeded {self.join_timeout_s}s"
-                )
-            if idle:
-                # First idle observation: run the confirming sweep right
-                # away instead of burning a whole sync period — this is
-                # most of the fixed-cadence latency on short jobs.
-                sweep_wait = self.config.idle_sleep_s
-                continue
-            if self._wait_for_wake(sweep_wait):
-                sweep_wait = self.config.idle_sleep_s
-            else:
-                sweep_wait = min(sweep_wait * 2,
-                                 self.config.aggregator_sync_period_s)
-
-        finals: List[_Final] = []
-        for wid in range(len(self.conns)):
-            self._send(wid, ("stop",))
-        for wid in range(len(self.conns)):
-            msg = self._recv(wid)
-            if not isinstance(msg, _Final):
-                raise WorkerProcessError(
-                    wid, f"expected a final report, got {type(msg).__name__}"
-                )
-            # The paper's closing rule: one more aggregation pass so data
-            # from every task is folded before the job result is read.
-            self.global_aggregator.fold(msg.partial)
-            finals.append(msg)
-        return finals
-
-    def run(self) -> List[_Final]:
-        """Drive the job to completion, recovering lost workers."""
-        self._deadline = time.monotonic() + self.join_timeout_s
-        attempts = 0
-        while True:
-            try:
-                return self._run_to_completion()
-            except WorkerProcessError as exc:
-                attempts += 1
-                if not exc.recoverable or attempts > self.config.max_worker_restarts:
-                    raise
-                delay = self.config.worker_restart_backoff_s * (2 ** (attempts - 1))
-                if delay > 0:
-                    time.sleep(delay)
-                self._recover()
 
 
 # ---------------------------------------------------------------------------

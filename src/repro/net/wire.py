@@ -34,9 +34,10 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..core.errors import WireDecodeError
 from .message import Message, RequestBatch, ResponseBatch, TaskBatchTransfer
 
-__all__ = ["MAGIC", "encode_batch", "decode_batch"]
+__all__ = ["MAGIC", "encode_batch", "decode_batch", "WireDecodeError"]
 
 MAGIC = b"GTWIRE1\x00"
 
@@ -115,7 +116,14 @@ def encode_batch(messages: Sequence[Message]) -> bytes:
 
 
 class _Cursor:
-    """Sequential reader of int64 headers and aligned array payloads."""
+    """Sequential reader of int64 headers and aligned array payloads.
+
+    Every read is bounds-checked against the buffer end and raises
+    :class:`WireDecodeError` on truncation — over a socket a frame can
+    arrive short or corrupted, and a raw ``struct.error`` / numpy
+    ``ValueError`` out of the decoder would be indistinguishable from a
+    framework bug.
+    """
 
     __slots__ = ("buf", "pos")
 
@@ -123,18 +131,52 @@ class _Cursor:
         self.buf = buf
         self.pos = pos
 
-    def read_ints(self, count: int) -> np.ndarray:
+    def _require(self, nbytes: int, what: str) -> None:
+        if nbytes < 0:
+            raise WireDecodeError(
+                f"negative length ({nbytes} bytes) for {what} at offset {self.pos}"
+            )
+        if self.pos + nbytes > len(self.buf):
+            raise WireDecodeError(
+                f"truncated frame: {what} needs {nbytes} bytes at offset "
+                f"{self.pos} but the buffer ends at {len(self.buf)}"
+            )
+
+    def read_ints(self, count: int, what: str = "int64 header") -> np.ndarray:
+        if count < 0:
+            raise WireDecodeError(
+                f"negative count ({count}) for {what} at offset {self.pos}"
+            )
+        self._require(8 * count, what)
         out = np.frombuffer(self.buf, dtype="<i8", count=count, offset=self.pos)
         self.pos += 8 * count
         return out
 
-    def read_array(self, count: int) -> np.ndarray:
-        return self.read_ints(count)
+    def read_array(self, count: int, what: str = "int64 array") -> np.ndarray:
+        return self.read_ints(count, what)
 
-    def read_bytes(self, length: int) -> bytes:
+    def read_bytes(self, length: int, what: str = "byte payload") -> bytes:
+        self._require(length, what)
         raw = self.buf[self.pos : self.pos + length]
         self.pos += length + (-length % 8)
         return raw
+
+
+def _checked_count(value: int, what: str) -> int:
+    value = int(value)
+    if value < 0:
+        raise WireDecodeError(f"negative count ({value}) for {what}")
+    return value
+
+
+def _pickle_loads(raw: bytes, what: str):
+    try:
+        return pickle.loads(raw)
+    except Exception as exc:
+        # pickle raises UnpicklingError, EOFError, ValueError,
+        # AttributeError, ... depending on where the bytes go wrong;
+        # normalize them all to the typed decode error.
+        raise WireDecodeError(f"cannot unpickle {what}: {exc!r}") from exc
 
 
 def decode_batch(payload: bytes) -> List[Message]:
@@ -142,39 +184,62 @@ def decode_batch(payload: bytes) -> List[Message]:
 
     Payloads not starting with :data:`MAGIC` are assumed to be pickled
     batches (``wire_format="pickle"``) and handed to ``pickle.loads``.
+    Any malformed input — truncated frames, counts or lengths pointing
+    past the buffer end, negative counts, bad magic with unpicklable
+    fallback bytes — raises :class:`WireDecodeError` rather than leaking
+    ``struct.error`` / ``UnpicklingError`` / raw ``ValueError``.
     """
     if payload[:8] != MAGIC:
-        return pickle.loads(payload)
+        decoded = _pickle_loads(payload, "non-GTWIRE payload")
+        if not isinstance(decoded, list):
+            raise WireDecodeError(
+                f"pickled payload is {type(decoded).__name__}, expected a "
+                f"message batch (list)"
+            )
+        return decoded
     cur = _Cursor(payload, 8)
-    (count,) = cur.read_ints(1)
+    count = _checked_count(cur.read_ints(1, "message count")[0], "message count")
     out: List[Message] = []
-    for _ in range(int(count)):
-        kind, src, dst = (int(x) for x in cur.read_ints(3))
+    for i in range(count):
+        kind, src, dst = (
+            int(x) for x in cur.read_ints(3, f"frame header of message {i}")
+        )
         if kind == _KIND_REQUEST:
-            (n,) = cur.read_ints(1)
-            ids = cur.read_array(int(n))
+            n = _checked_count(cur.read_ints(1, "request id count")[0],
+                               "request id count")
+            ids = cur.read_array(n, "request vertex ids")
             out.append(RequestBatch(src=src, dst=dst, vertex_ids=ids.tolist()))
         elif kind == _KIND_RESPONSE:
-            (n,) = cur.read_ints(1)
-            n = int(n)
-            ids = cur.read_array(n)
-            labels = cur.read_array(n)
-            degrees = cur.read_array(n)
+            n = _checked_count(cur.read_ints(1, "response vertex count")[0],
+                               "response vertex count")
+            ids = cur.read_array(n, "response ids")
+            labels = cur.read_array(n, "response labels")
+            degrees = cur.read_array(n, "response degrees")
+            if n and int(degrees.min()) < 0:
+                raise WireDecodeError(
+                    f"negative adjacency degree ({int(degrees.min())}) in "
+                    f"response frame {i}"
+                )
             offsets = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(degrees, out=offsets[1:])
-            adj_concat = cur.read_array(int(offsets[-1]))
+            adj_concat = cur.read_array(int(offsets[-1]),
+                                        "concatenated adjacency rows")
             out.append(ResponseBatch.from_soa(
                 src, dst, ids=ids, labels=labels,
                 adj_concat=adj_concat, offsets=offsets,
             ))
         elif kind == _KIND_TASKS:
-            num_tasks, length = (int(x) for x in cur.read_ints(2))
-            raw = cur.read_bytes(length)
+            header = cur.read_ints(2, "task transfer header")
+            num_tasks = _checked_count(header[0], "task count")
+            length = _checked_count(header[1], "task payload length")
+            raw = cur.read_bytes(length, "task batch payload")
             out.append(TaskBatchTransfer(src=src, dst=dst, payload=raw,
                                          num_tasks=num_tasks))
         elif kind == _KIND_PICKLE:
-            (length,) = cur.read_ints(1)
-            out.append(pickle.loads(cur.read_bytes(int(length))))
+            length = _checked_count(cur.read_ints(1, "pickle frame length")[0],
+                                    "pickle frame length")
+            raw = cur.read_bytes(length, "pickle frame payload")
+            out.append(_pickle_loads(raw, f"pickle frame of message {i}"))
         else:
-            raise ValueError(f"unknown wire frame kind {kind}")
+            raise WireDecodeError(f"unknown wire frame kind {kind}")
     return out

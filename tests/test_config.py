@@ -8,6 +8,7 @@ from repro.core.config import (
     GThinkerConfig,
     MachineModel,
     NetworkModel,
+    parse_host_port,
 )
 
 
@@ -42,10 +43,79 @@ def test_with_updates_returns_copy():
     ("max_worker_restarts", -1),
     ("worker_restart_backoff_s", -0.1),
     ("control_reply_timeout_s", 0.0),
+    ("sync_every_rounds", 0),
+    ("steal_batches", 0),
+    ("cache_count_delta", 0),
+    ("aggregator_sync_period_s", 0.0),
+    ("pending_threshold", -1),
+    ("cluster_connect_timeout_s", 0.0),
 ])
 def test_invalid_values_rejected(field, value):
-    with pytest.raises(ValueError):
+    # The message must name the offending field: these errors surface
+    # deep inside worker processes, far from the construction site.
+    with pytest.raises(ValueError, match=field):
         GThinkerConfig(**{field: value})
+
+
+def test_steal_batches_unchecked_when_stealing_disabled():
+    GThinkerConfig(steal_enabled=False, steal_batches=0)  # does not raise
+
+
+def test_pending_threshold_zero_allowed():
+    # D=0 is maximal gating (any pending task blocks the next pop) and
+    # tests rely on it; only negatives are nonsense.
+    assert GThinkerConfig(pending_threshold=0).effective_pending_threshold == 0
+
+
+@pytest.mark.parametrize("field,value", [
+    ("sync_every_rounds", -3),
+    ("cache_count_delta", -1),
+    ("aggregator_sync_period_s", -0.5),
+    ("pending_threshold", -2),
+])
+def test_negative_values_rejected_too(field, value):
+    with pytest.raises(ValueError, match=field):
+        GThinkerConfig(**{field: value})
+
+
+# -- cluster wiring ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec,expected", [
+    ("127.0.0.1:9090", ("127.0.0.1", 9090)),
+    ("nodeA:0", ("nodeA", 0)),
+    ("fe80::1:443", ("fe80::1", 443)),  # rpartition keeps IPv6 hosts whole
+])
+def test_parse_host_port_accepts(spec, expected):
+    assert parse_host_port(spec) == expected
+
+
+@pytest.mark.parametrize("spec", [
+    "nohost", ":8080", "host:", "host:http", "host:70000", "host:-1", 8080,
+])
+def test_parse_host_port_rejects(spec):
+    with pytest.raises(ValueError):
+        parse_host_port(spec)
+
+
+def test_cluster_hosts_must_match_num_workers():
+    with pytest.raises(ValueError, match="cluster_hosts"):
+        GThinkerConfig(num_workers=2, cluster_hosts=("a:1",))
+
+
+def test_cluster_hosts_entries_validated():
+    with pytest.raises(ValueError):
+        GThinkerConfig(num_workers=2, cluster_hosts=("a:1", "no-port"))
+
+
+def test_cluster_hosts_coerced_to_tuple():
+    cfg = GThinkerConfig(num_workers=2, cluster_hosts=["a:1", "b:2"])
+    assert cfg.cluster_hosts == ("a:1", "b:2")
+
+
+def test_cluster_bind_validated():
+    with pytest.raises(ValueError, match="cluster_bind"):
+        GThinkerConfig(cluster_bind="nope")
 
 
 @pytest.mark.parametrize("kw", [

@@ -1,6 +1,8 @@
 """Tests for the message transport."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp_st
 
 from repro.core.config import NetworkModel
 from repro.core.metrics import MetricsRegistry
@@ -151,3 +153,49 @@ class TestProcessTransportPollLimit:
         sender.flush_outgoing()
         rest = receiver.poll(0)
         assert [m.vertex_ids for m in rest] == [[1], [2], [3], [4]]
+
+
+class TestProcessTransportFifoProperty:
+    """S4 property: across any interleaving of sender flushes and
+    limited polls, ProcessTransport delivers messages in FIFO order
+    through the overflow-parking boundary, and received_count counts
+    exactly the messages handed to the caller — parked overflow is
+    invisible until actually delivered."""
+
+    @given(
+        batch_sizes=hyp_st.lists(hyp_st.integers(1, 7), min_size=1, max_size=6),
+        limits=hyp_st.lists(hyp_st.integers(0, 5), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_and_counts_across_overflow(self, batch_sizes, limits):
+        import queue
+
+        from repro.net.transport import ProcessTransport
+
+        queues = [queue.Queue(), queue.Queue()]
+        sender = ProcessTransport(1, queues)
+        receiver = ProcessTransport(0, queues)
+        seq = 0
+        delivered = []
+        limit_iter = iter(limits)
+        for size in batch_sizes:
+            for _ in range(size):
+                sender.send(RequestBatch(src=1, dst=0, vertex_ids=[seq]))
+                seq += 1
+            sender.flush_outgoing()
+            # Interleave a limited poll after each batch: the overflow
+            # deque now holds a mix of parked older messages and a
+            # freshly decoded batch.
+            limit = next(limit_iter, 0)
+            got = receiver.poll(0, limit=limit)
+            if limit:
+                assert len(got) <= limit
+            delivered.extend(got)
+            assert receiver.received_count == len(delivered)
+        while True:
+            got = receiver.poll(0)
+            if not got:
+                break
+            delivered.extend(got)
+        assert [m.vertex_ids[0] for m in delivered] == list(range(seq))
+        assert receiver.received_count == seq == sender.sent_count

@@ -150,3 +150,136 @@ def test_task_codec_legacy_pickle_payload_decodes():
     legacy = pickle.dumps([t], protocol=pickle.HIGHEST_PROTOCOL)
     (out,) = deserialize_tasks(legacy)
     assert out.context == 9
+
+
+# ---------------------------------------------------------------------------
+# Decode hardening: truncated / corrupt payloads raise WireDecodeError
+# ---------------------------------------------------------------------------
+
+
+def _messages_equal(a, b):
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, RequestBatch):
+        return (a.src, a.dst, list(a.vertex_ids)) == (b.src, b.dst,
+                                                      list(b.vertex_ids))
+    if isinstance(a, ResponseBatch):
+        return (a.src, a.dst) == (b.src, b.dst) and [
+            (v, l, adj.tolist()) for v, l, adj in a.vertices
+        ] == [(v, l, adj.tolist()) for v, l, adj in b.vertices]
+    if isinstance(a, TaskBatchTransfer):
+        return (a.src, a.dst, a.num_tasks, bytes(a.payload)) == (
+            b.src, b.dst, b.num_tasks, bytes(b.payload))
+    return a.src == b.src and a.dst == b.dst
+
+
+class _OddMessage(Message):
+    """A message type without a dedicated frame (pickle fallback)."""
+
+    def __init__(self, src, dst, blob):
+        super().__init__(src=src, dst=dst)
+        self.blob = blob
+
+
+_FRAME_CASES = {
+    "request": [RequestBatch(src=0, dst=1, vertex_ids=[9, 1, 9])],
+    "response": [ResponseBatch(src=0, dst=1, vertices=[
+        (5, 0, np.array([1, 2, 3], dtype=np.int64)),
+        (7, 4, ()),
+    ])],
+    "tasks": [TaskBatchTransfer(src=1, dst=0, payload=b"abcde", num_tasks=2)],
+    "pickle": [_OddMessage(src=0, dst=1, blob={"k": [1, 2]})],
+    "mixed": [
+        RequestBatch(src=0, dst=1, vertex_ids=[4]),
+        ResponseBatch(src=1, dst=0, vertices=[(4, 0, np.array([5],
+                                                             dtype=np.int64))]),
+        TaskBatchTransfer(src=1, dst=0, payload=b"xyz", num_tasks=1),
+        _OddMessage(src=0, dst=1, blob=None),
+    ],
+}
+
+
+@pytest.mark.parametrize("kind", sorted(_FRAME_CASES))
+def test_truncation_at_every_boundary_raises_or_decodes_whole(kind):
+    """Cutting the payload at *every* byte offset must either raise the
+    typed WireDecodeError or — when the cut only removed trailing
+    alignment padding — decode to the identical batch.  No raw
+    struct/numpy/pickle errors may escape."""
+    msgs = _FRAME_CASES[kind]
+    payload = wire.encode_batch(msgs)
+    full = wire.decode_batch(payload)
+    clean_decodes = 0
+    for cut in range(len(payload)):
+        try:
+            decoded = wire.decode_batch(payload[:cut])
+        except wire.WireDecodeError:
+            continue
+        clean_decodes += 1
+        assert len(decoded) == len(full)
+        assert all(_messages_equal(x, y) for x, y in zip(decoded, full))
+    # Only padding-only cuts may decode; there are at most 7 pad bytes
+    # per variable-length frame, so clean decodes are rare.
+    assert clean_decodes <= 7 * len(msgs)
+
+
+def test_wire_decode_error_is_value_error():
+    with pytest.raises(ValueError):  # old callers guarded ValueError
+        wire.decode_batch(wire.encode_batch(
+            [RequestBatch(src=0, dst=1, vertex_ids=[1, 2])]
+        )[:12])
+
+
+def test_corrupt_magic_with_unpicklable_tail_raises():
+    payload = bytearray(wire.encode_batch(
+        [RequestBatch(src=0, dst=1, vertex_ids=[1])]
+    ))
+    payload[0] ^= 0xFF  # not MAGIC, not a valid pickle either
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(bytes(payload))
+
+
+def test_pickled_non_list_payload_raises():
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(pickle.dumps({"not": "a batch"}))
+
+
+def test_empty_payload_raises():
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(b"")
+
+
+def _header(*values):
+    return np.array(values, dtype="<i8").tobytes()
+
+
+def test_negative_message_count_raises():
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(wire.MAGIC + _header(-1))
+
+
+def test_negative_id_count_raises():
+    payload = wire.MAGIC + _header(1) + _header(1, 0, 1) + _header(-4)
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(payload)
+
+
+def test_negative_response_degree_raises():
+    # One response frame, one vertex, degree -1: a negative cumsum would
+    # otherwise produce nonsense adjacency slices.
+    payload = (wire.MAGIC + _header(1) + _header(2, 0, 1) + _header(1)
+               + _header(7) + _header(0) + _header(-1))
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(payload)
+
+
+def test_unknown_frame_kind_raises():
+    payload = wire.MAGIC + _header(1) + _header(99, 0, 1)
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(payload)
+
+
+def test_count_pointing_past_buffer_raises():
+    # Claims 1 << 40 vertex ids but provides none.
+    payload = wire.MAGIC + _header(1) + _header(1, 0, 1) + _header(1 << 40)
+    with pytest.raises(wire.WireDecodeError):
+        wire.decode_batch(payload)
