@@ -1,0 +1,244 @@
+"""Job-service benchmark: throughput and latency of the resident-graph
+server under concurrent submitters (``BENCH_service.json``).
+
+What PR 7 claims, this measures:
+
+* **Concurrent correctness** — N submitter threads, each with its own
+  socket client, drive a mixed workload (tc / bundled tc / maximal
+  cliques / mcf / subgraph matching) against one
+  :class:`~repro.service.GraphService`; every answer is checked against
+  a serial ``run_job`` oracle computed outside the service.
+* **Throughput & tail latency** — jobs/sec and the p50/p99/max of
+  admission-to-answer latency (client-side clock around
+  ``submit``+``result``), reported for a *cold* service (result cache
+  disabled — every job mines) and a *warm* one (cache primed — the
+  resident-service steady state).
+* **The cache-hit proof** — on the warm service every repeated
+  submission must come back ``cached`` with **zero** mining rounds
+  (the record's ``mining_rounds`` field is the executed job's
+  ``tasks:iterations`` worker metric; a cache hit never touches a
+  worker).  Any re-mined repeat fails the gate.
+
+Exit status is non-zero if any answer differs from its oracle or any
+warm repeat actually re-mined — the CI ``service-smoke`` gate.
+
+Run::
+
+    python benchmarks/bench_service.py [--quick] [--output PATH]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import GThinkerConfig, run_job
+from repro.graph import erdos_renyi
+from repro.service import GraphService, ServiceClient, build_app_factory
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+TRIANGLE = [[0, 1], [1, 2], [0, 2]]
+
+#: The mixed workload: (app, params, how to normalize the answer).
+WORKLOADS = [
+    ("tc", {}, "int"),
+    ("tc", {"bundle": 8}, "int"),
+    ("cliques", {"min_size": 3}, "int"),
+    ("mcf", {}, "len"),
+    ("gm", {"query_edges": TRIANGLE}, "int"),
+]
+
+
+def _config():
+    return GThinkerConfig(num_workers=2, compers_per_worker=2,
+                          task_batch_size=16)
+
+
+def _answer(kind: str, result):
+    if kind == "len":
+        return len(result.aggregate or ())
+    return int(result.aggregate)
+
+
+def _percentile(values, q):
+    values = sorted(values)
+    idx = max(0, min(len(values) - 1, round(q * (len(values) - 1))))
+    return values[idx]
+
+
+def serial_oracles(graph):
+    """The ground truth: every workload run through plain serial run_job."""
+    oracles = {}
+    for app, params, kind in WORKLOADS:
+        result = run_job(build_app_factory(app, params), graph, _config(),
+                         runtime="serial")
+        oracles[(app, json.dumps(params, sort_keys=True))] = _answer(kind, result)
+    return oracles
+
+
+def drive_submitters(service, num_submitters, jobs_per_submitter):
+    """N threads × M jobs over real sockets; returns per-job rows."""
+    host, port = service.address
+    rows, failures = [], []
+
+    def submitter(sid):
+        try:
+            with ServiceClient(f"{host}:{port}") as client:
+                for j in range(jobs_per_submitter):
+                    app, params, kind = WORKLOADS[(sid + j) % len(WORKLOADS)]
+                    started = time.perf_counter()
+                    handle = client.submit(app, params, tenant=f"sub{sid}")
+                    result = handle.result(timeout=600)
+                    latency = time.perf_counter() - started
+                    record = handle.record
+                    rows.append({
+                        "submitter": sid,
+                        "app": app,
+                        "params": params,
+                        "kind": kind,
+                        "latency_s": latency,
+                        "cached": record["cached"],
+                        "mining_rounds": record["mining_rounds"],
+                        "answer": _answer(kind, result),
+                    })
+        except BaseException as exc:  # noqa: BLE001 - reported in the gate
+            failures.append(f"submitter {sid}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=submitter, args=(sid,))
+               for sid in range(num_submitters)]
+    wall_started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_started
+    return rows, wall, failures
+
+
+def check_answers(rows, oracles):
+    bad = []
+    for row in rows:
+        key = (row["app"], json.dumps(row["params"], sort_keys=True))
+        if row["answer"] != oracles[key]:
+            bad.append(f"{row['app']} {row['params']}: got {row['answer']}, "
+                       f"oracle {oracles[key]}")
+    return bad
+
+
+def summarize(rows, wall):
+    latencies = [r["latency_s"] for r in rows]
+    return {
+        "jobs": len(rows),
+        "wall_s": round(wall, 4),
+        "jobs_per_sec": round(len(rows) / wall, 2) if wall else None,
+        "latency_p50_s": round(statistics.median(latencies), 5),
+        "latency_p99_s": round(_percentile(latencies, 0.99), 5),
+        "latency_max_s": round(max(latencies), 5),
+        "cache_hits": sum(1 for r in rows if r["cached"]),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="job-service benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph / fewer submitters (CI)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n, p, submitters, laps = 250, 0.05, 2, 1
+    else:
+        n, p, submitters, laps = 800, 0.025, 4, 2
+    jobs_per_submitter = laps * len(WORKLOADS)
+
+    graph = erdos_renyi(n, p, seed=42)
+    print(f"graph: n={n} p={p} ({graph.num_edges} edges); "
+          f"{submitters} submitters x {jobs_per_submitter} jobs", flush=True)
+    oracles = serial_oracles(graph)
+
+    # Phase 1 — cold service: cache disabled, every job actually mines.
+    with GraphService(graph, config=_config(), runtime="threaded",
+                      worker_budget=4, result_cache_size=0) as cold_svc:
+        cold_rows, cold_wall, cold_failures = drive_submitters(
+            cold_svc, submitters, jobs_per_submitter)
+    cold_bad = check_answers(cold_rows, oracles)
+    cold = summarize(cold_rows, cold_wall)
+    cold["all_mined"] = all(not r["cached"] for r in cold_rows)
+    print(f"cold: {cold['jobs_per_sec']} jobs/s, "
+          f"p99={cold['latency_p99_s']}s", flush=True)
+
+    # Phase 2 — warm service: prime the cache with one pass, then the
+    # same concurrent workload; every repeat must be a zero-round hit.
+    with GraphService(graph, config=_config(), runtime="threaded",
+                      worker_budget=4) as warm_svc:
+        prime_rows, _, prime_failures = drive_submitters(warm_svc, 1,
+                                                         len(WORKLOADS))
+        warm_rows, warm_wall, warm_failures = drive_submitters(
+            warm_svc, submitters, jobs_per_submitter)
+        warm_stats = warm_svc.stats()
+    warm_bad = check_answers(prime_rows + warm_rows, oracles)
+    warm = summarize(warm_rows, warm_wall)
+    warm["all_cached"] = all(r["cached"] for r in warm_rows)
+    warm["mining_rounds_total"] = sum(r["mining_rounds"] for r in warm_rows)
+    prime_mined = all(r["mining_rounds"] > 0 for r in prime_rows)
+    print(f"warm: {warm['jobs_per_sec']} jobs/s, "
+          f"p99={warm['latency_p99_s']}s, all_cached={warm['all_cached']}, "
+          f"repeat mining rounds={warm['mining_rounds_total']}", flush=True)
+
+    failures = cold_failures + prime_failures + warm_failures
+    answers_equal = not (cold_bad or warm_bad)
+    cache_proven = (warm["all_cached"]
+                    and warm["mining_rounds_total"] == 0
+                    and prime_mined)
+    report = {
+        "benchmark": "service",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "graph": {"model": "erdos_renyi", "n": n, "p": p, "seed": 42,
+                  "num_edges": graph.num_edges},
+        "submitters": submitters,
+        "jobs_per_submitter": jobs_per_submitter,
+        "workloads": [{"app": a, "params": prm} for a, prm, _ in WORKLOADS],
+        "cold": cold,
+        "warm": warm,
+        "server_stats_warm": warm_stats,
+        "answers_equal": answers_equal,
+        "cache_hit_proven": cache_proven,
+        "submitter_failures": failures,
+    }
+    with open(args.output, "w", encoding="ascii") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+
+    ok = True
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        ok = False
+    if not answers_equal:
+        for line in cold_bad + warm_bad:
+            print(f"FAIL: answer mismatch: {line}")
+        ok = False
+    if not cache_proven:
+        print(f"FAIL: cache-hit proof: all_cached={warm['all_cached']}, "
+              f"repeat mining rounds={warm['mining_rounds_total']} "
+              f"(want 0), primer mined={prime_mined}")
+        ok = False
+    if not cold["all_mined"]:
+        print("FAIL: cold service served from a cache that should be off")
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

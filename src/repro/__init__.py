@@ -24,8 +24,10 @@ from .core import (
     Comper,
     FailurePlanConfig,
     GThinkerConfig,
+    JobHandle,
     JobResult,
     MaxAggregator,
+    Session,
     SumAggregator,
     Task,
     Trimmer,
@@ -46,7 +48,9 @@ __all__ = [
     "Comper",
     "FailurePlanConfig",
     "GThinkerConfig",
+    "JobHandle",
     "JobResult",
+    "Session",
     "MaxAggregator",
     "SumAggregator",
     "Task",

@@ -50,7 +50,7 @@ from .sim import run_simulated_job
 __all__ = ["main", "build_parser"]
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
+def _add_graph_source(p: argparse.ArgumentParser) -> None:
     src = p.add_argument_group("graph source (pick one)")
     src.add_argument("--graph", help="edge-list or adjacency file")
     src.add_argument("--format", choices=["edges", "adjacency"], default="edges",
@@ -61,6 +61,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     src.add_argument("--scale", type=float, default=0.5,
                      help="dataset scale factor (default 0.5)")
     src.add_argument("--seed", type=int, default=7)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    _add_graph_source(p)
 
     run = p.add_argument_group("execution")
     run.add_argument("--workers", type=int, default=2)
@@ -143,6 +147,68 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker slot to claim (default: master assigns)")
     node.add_argument("--connect-timeout", type=float, default=30.0,
                       help="seconds to keep retrying the master connection")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident-graph job service (load once, serve many jobs)",
+    )
+    _add_graph_source(serve)
+    serve.add_argument("--bind", default="127.0.0.1:0",
+                       help="host:port for the job listener (default "
+                            "127.0.0.1:0 — loopback, ephemeral port)")
+    serve.add_argument("--runtime", choices=list(available_runtimes()),
+                       default="serial",
+                       help="runtime submitted jobs execute on")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="default worker quota per job")
+    serve.add_argument("--compers", type=int, default=2)
+    serve.add_argument("--worker-budget", type=int, default=None,
+                       help="total worker quota running at once "
+                            "(default: CPU count)")
+    serve.add_argument("--max-workers-per-job", type=int, default=None,
+                       help="per-job quota cap (default: --workers)")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="queued jobs beyond this are rejected (default 64)")
+    serve.add_argument("--tenant-weight", action="append", default=[],
+                       metavar="TENANT=WEIGHT",
+                       help="fair-share weight for a tenant (repeatable; "
+                            "unlisted tenants weigh 1)")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="result-cache entries (default 128; 0 disables)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running 'repro serve' and print the answer",
+    )
+    submit.add_argument("--server", required=True,
+                        help="host:port printed by 'repro serve'")
+    submit.add_argument("--app", required=True,
+                        help="app name (tc, mcf, cliques, qc, gm, ...)")
+    submit.add_argument("--params", default=None,
+                        help='params as JSON, e.g. \'{"min_size": 3}\'')
+    submit.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="single param (repeatable; VALUE parsed as "
+                             "JSON, falling back to string)")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--num-workers", type=int, default=None,
+                        help="requested worker quota (server caps it)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="seconds to wait for the answer")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return without waiting")
+    submit.add_argument("--output", help="write result records to this file")
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list jobs (and admission stats) on a running 'repro serve'",
+    )
+    jobs.add_argument("--server", required=True,
+                      help="host:port printed by 'repro serve'")
+    jobs.add_argument("--stats", action="store_true",
+                      help="also print admission/cache statistics")
+    jobs.add_argument("--shutdown", action="store_true",
+                      help="ask the server to stop instead of listing")
 
     info = sub.add_parser("datasets", help="list built-in dataset stand-ins")
     info.add_argument("--scale", type=float, default=0.5)
@@ -231,6 +297,129 @@ def _emit_outputs(outputs, path: Optional[str]) -> None:
     print(f"wrote {len(outputs)} records to {path}")
 
 
+def _cmd_serve(args) -> int:
+    from .service import GraphService
+
+    weights = {}
+    for spec in args.tenant_weight:
+        tenant, sep, weight = spec.partition("=")
+        if not sep:
+            raise SystemExit(f"--tenant-weight wants TENANT=WEIGHT, got {spec!r}")
+        weights[tenant] = float(weight)
+
+    graph = _load_graph(args)
+    config = GThinkerConfig(num_workers=args.workers,
+                            compers_per_worker=args.compers)
+    service = GraphService(
+        graph,
+        config=config,
+        runtime=args.runtime,
+        bind=args.bind,
+        worker_budget=args.worker_budget,
+        max_workers_per_job=args.max_workers_per_job,
+        max_queue_depth=args.max_queue_depth,
+        tenant_weights=weights or None,
+        result_cache_size=args.cache_size,
+    )
+    service.start()
+    host, port = service.address
+    info = service.server_info()
+    size = (f"{info['num_vertices']} vertices / {info['num_edges']} edges"
+            if "num_vertices" in info else "sharded store")
+    print(f"serving {size} on {host}:{port} "
+          f"(runtime={args.runtime}, budget={info['worker_budget']} workers)",
+          flush=True)
+    print(f"submit with: repro submit --server {host}:{port} --app tc",
+          flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        service.close()
+    return 0
+
+
+def _parse_submit_params(args) -> dict:
+    import json
+
+    params = {}
+    if args.params:
+        try:
+            params.update(json.loads(args.params))
+        except ValueError as exc:
+            raise SystemExit(f"--params is not valid JSON: {exc}")
+    for spec in args.param:
+        key, sep, value = spec.partition("=")
+        if not sep:
+            raise SystemExit(f"--param wants KEY=VALUE, got {spec!r}")
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _cmd_submit(args) -> int:
+    from .core.errors import JobRejectedError, ServiceError
+    from .service import ServiceClient
+
+    params = _parse_submit_params(args)
+    with ServiceClient(args.server) as client:
+        try:
+            handle = client.submit(args.app, params, tenant=args.tenant,
+                                   num_workers=args.num_workers)
+        except JobRejectedError as exc:
+            print(f"rejected: {exc}", file=sys.stderr)
+            return 1
+        record = handle.record
+        print(f"{record['job_id']}  app={record['app']}  "
+              f"tenant={record['tenant']}  status={record['status']}"
+              f"{'  (cached)' if record['cached'] else ''}")
+        if args.no_wait:
+            return 0
+        try:
+            result = handle.result(timeout=args.timeout)
+        except TimeoutError:
+            print(f"still running after {args.timeout}s; fetch later with "
+                  f"repro jobs --server {args.server}", file=sys.stderr)
+            return 1
+        except ServiceError as exc:
+            print(f"failed: {exc}", file=sys.stderr)
+            return 1
+        record = handle.record
+        print(f"wall time    : {result.elapsed_s:.4f} s"
+              f"{'  (served from cache)' if record['cached'] else ''}")
+        if args.app == "mcf":
+            clique = result.aggregate or ()
+            print(f"max clique   : size {len(clique)}  {clique}")
+        else:
+            print(f"aggregate    : {result.aggregate}")
+        _emit_outputs(result.outputs, args.output)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .service import ServiceClient
+
+    with ServiceClient(args.server) as client:
+        if args.shutdown:
+            client.shutdown()
+            print("shutdown requested")
+            return 0
+        records = client.jobs()
+        if not records:
+            print("no jobs submitted yet")
+        for rec in records:
+            rounds = rec["mining_rounds"]
+            print(f"{rec['job_id']:10s} {rec['app']:8s} "
+                  f"tenant={rec['tenant']:10s} quota={rec['quota']} "
+                  f"status={rec['status']:9s} "
+                  f"{'cached' if rec['cached'] else f'rounds={rounds}'}")
+        if args.stats:
+            for key, value in sorted(client.stats().items()):
+                print(f"{key:20s} {value}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -272,6 +461,15 @@ def main(argv=None) -> int:
         print(f"sharded {g.num_vertices} vertices / {g.num_edges} edges "
               f"into {args.num_shards} shards under {args.out}")
         return 0
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
+
+    if args.command == "jobs":
+        return _cmd_jobs(args)
 
     if getattr(args, "resume", False):
         if not getattr(args, "checkpoint_dir", None):

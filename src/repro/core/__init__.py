@@ -21,13 +21,17 @@ from .errors import (
     CheckpointError,
     GThinkerError,
     JobAbortedError,
+    JobCancelledError,
+    JobRejectedError,
+    ServiceError,
     TaskError,
     UnknownRuntimeError,
     UnsupportedRuntimeFeature,
     WorkerProcessError,
 )
-from .job import JobResult, build_cluster, resume_job, run_job
+from .job import JobResult, build_cluster, resolve_resume, resume_job, run_job
 from .metrics import CacheStats, MetricsRegistry, WorkerMetrics
+from .session import JobHandle, LocalJobHandle, Session
 from .runtime import (
     JobRequest,
     RuntimeCapabilities,
@@ -58,14 +62,21 @@ __all__ = [
     "CheckpointError",
     "GThinkerError",
     "JobAbortedError",
+    "JobCancelledError",
+    "JobRejectedError",
+    "ServiceError",
     "TaskError",
     "UnknownRuntimeError",
     "UnsupportedRuntimeFeature",
     "WorkerProcessError",
     "JobResult",
     "build_cluster",
+    "resolve_resume",
     "resume_job",
     "run_job",
+    "JobHandle",
+    "LocalJobHandle",
+    "Session",
     "CacheStats",
     "MetricsRegistry",
     "WorkerMetrics",

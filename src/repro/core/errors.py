@@ -9,6 +9,9 @@ __all__ = [
     "TaskError",
     "CacheProtocolError",
     "ProtocolViolation",
+    "JobCancelledError",
+    "JobRejectedError",
+    "ServiceError",
     "UnknownRuntimeError",
     "UnsupportedRuntimeFeature",
     "WireDecodeError",
@@ -74,6 +77,23 @@ class JobAbortedError(GThinkerError):
 
 class CheckpointError(GThinkerError):
     """A checkpoint could not be written or restored."""
+
+
+class ServiceError(GThinkerError):
+    """Base class for job-service (``repro.service``) errors."""
+
+
+class JobRejectedError(ServiceError):
+    """The service refused to admit a job.
+
+    Raised for a full admission queue (bounded depth — backpressure is
+    explicit, never silent), an unknown app name, or malformed app
+    parameters.  The message says which.
+    """
+
+
+class JobCancelledError(ServiceError):
+    """``result()`` was called on a job that was cancelled before running."""
 
 
 class TaskError(GThinkerError):

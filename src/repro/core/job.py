@@ -29,7 +29,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..graph.graph import Graph
 from ..graph.io import ShardedGraphStore
@@ -52,7 +52,9 @@ from .runtime import (
 )
 from .worker import Worker
 
-__all__ = ["JobResult", "build_cluster", "run_job", "resume_job"]
+__all__ = [
+    "JobResult", "build_cluster", "run_job", "resume_job", "resolve_resume",
+]
 
 GraphSource = Union[Graph, ShardedGraphStore]
 
@@ -348,6 +350,41 @@ def _dispatch(
     ))
 
 
+def resolve_resume(
+    checkpoint_path: str,
+    config: Optional[GThinkerConfig],
+    runtime: str,
+) -> Tuple[JobCheckpoint, GThinkerConfig]:
+    """Load a checkpoint shard and reconcile it with a caller config.
+
+    The single resume path behind ``run_job(resume_from=...)``,
+    ``Session.submit(resume_from=...)`` and ``resume_job``: validates
+    the runtime name *before* touching the file, loads the shard, and
+    either adopts its worker layout (``config=None``) or checks a
+    caller-supplied config against it.  A ``num_workers`` mismatch
+    raises ``ValueError`` here — early and uniformly, before any graph
+    is loaded or worker process spawned (the process executor used to
+    surface this late, as a :class:`~repro.core.errors.CheckpointError`
+    after validation had already let the job through).
+    """
+    get_runtime(runtime)  # validate the name before touching the file
+    ckpt = JobCheckpoint.load(checkpoint_path)
+    if config is None:
+        config = GThinkerConfig(
+            num_workers=ckpt.num_workers,
+            compers_per_worker=ckpt.compers_per_worker,
+        )
+    elif config.num_workers != ckpt.num_workers:
+        raise ValueError(
+            f"config.num_workers={config.num_workers} does not match the "
+            f"checkpoint shard {checkpoint_path!r}, which was taken with "
+            f"{ckpt.num_workers} workers; resume with num_workers="
+            f"{ckpt.num_workers} or pass config=None to adopt the shard's "
+            f"layout"
+        )
+    return ckpt, config
+
+
 def run_job(
     app_factory: Callable[[], Comper],
     graph: GraphSource,
@@ -355,8 +392,15 @@ def run_job(
     runtime: str = "serial",
     checkpoint_path: Optional[str] = None,
     abort_after_rounds: Optional[int] = None,
+    resume_from: Optional[str] = None,
 ) -> JobResult:
     """Run a G-thinker job to completion and return its result.
+
+    A thin wrapper over a one-shot :class:`~repro.core.session.Session`:
+    the graph is made resident, the job submitted, and its handle's
+    ``result()`` returned — identical signature and behavior to the
+    pre-Session entry point.  Use a Session directly to run several
+    jobs against one resident graph.
 
     Parameters
     ----------
@@ -385,6 +429,12 @@ def run_job(
         Requires the ``failure_injection`` capability (built-ins: serial
         and process); ``config.failure_plan`` — deterministic worker
         kills — additionally requires ``runtime="process"``.
+    resume_from:
+        Path of a checkpoint shard to seed the job from — recovery as a
+        parameter rather than a separate entry point (``resume_job``
+        delegates here).  ``config=None`` adopts the shard's worker
+        layout; a caller config whose ``num_workers`` disagrees with
+        the shard raises ``ValueError`` before anything is built.
 
     Raises
     ------
@@ -393,12 +443,16 @@ def run_job(
     UnsupportedRuntimeFeature
         The runtime exists but does not support a requested feature.
     """
-    config = config or GThinkerConfig()
-    return _dispatch(
-        runtime, app_factory, graph, config,
-        checkpoint_path=checkpoint_path,
-        abort_after_rounds=abort_after_rounds,
-    )
+    from .session import Session
+
+    with Session(graph, config=config, runtime=runtime) as session:
+        handle = session.submit(
+            app_factory,
+            checkpoint_path=checkpoint_path,
+            abort_after_rounds=abort_after_rounds,
+            resume_from=resume_from,
+        )
+        return handle.result()
 
 
 def resume_job(
@@ -421,18 +475,13 @@ def resume_job(
     keeps checkpointing to the same ``checkpoint_path``.
     ``abort_after_rounds`` injects a failure mid-recovery for
     fault-tolerance tests (serial and process, as in run_job).
+
+    Delegates to ``run_job(resume_from=checkpoint_path)`` — the two
+    spellings share one checkpoint-load/config-default path
+    (:func:`resolve_resume`) and produce identical results.
     """
-    get_runtime(runtime)  # validate the name before touching the file
-    ckpt = JobCheckpoint.load(checkpoint_path)
-    config = config or GThinkerConfig(
-        num_workers=ckpt.num_workers, compers_per_worker=ckpt.compers_per_worker
-    )
-    continue_path = (
-        checkpoint_path if config.checkpoint_every_syncs > 0 else None
-    )
-    return _dispatch(
-        runtime, app_factory, graph, config,
-        checkpoint_path=continue_path,
+    return run_job(
+        app_factory, graph, config=config, runtime=runtime,
         abort_after_rounds=abort_after_rounds,
-        checkpoint=ckpt,
+        resume_from=checkpoint_path,
     )

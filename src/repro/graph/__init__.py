@@ -23,6 +23,7 @@ from .partition import hash_partition, owner_map, partition_counts
 from .datasets import DATASETS, DatasetSpec, dataset_stats, make_dataset
 from .kcore import core_numbers, degeneracy, degeneracy_order, greedy_clique_seed
 from .csr import CSRGraph, SharedCSR, SharedCSRMeta
+from .digest import graph_digest
 
 __all__ = [
     "Graph",
@@ -57,4 +58,5 @@ __all__ = [
     "CSRGraph",
     "SharedCSR",
     "SharedCSRMeta",
+    "graph_digest",
 ]

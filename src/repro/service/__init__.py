@@ -1,0 +1,35 @@
+"""The resident graph service: load once, serve many tenants.
+
+A :class:`GraphService` keeps one graph resident for its whole life and
+runs submitted jobs against it through a multi-tenant admission
+scheduler (bounded queue, per-job worker quotas, stride-scheduled
+weighted fairness) with a ``(graph_digest, app, params)`` result cache.
+:class:`ServiceClient` talks to it over a localhost socket with the
+``net/`` control-plane framing; its :class:`RemoteJobHandle` implements
+the same protocol as :class:`repro.core.session.LocalJobHandle`.
+
+CLI front ends: ``repro serve``, ``repro submit``, ``repro jobs``.
+"""
+
+from .client import RemoteJobHandle, ServiceClient
+from .jobs import (
+    JobSpec,
+    available_apps,
+    build_app_factory,
+    cache_key,
+    canonical_params,
+    register_service_app,
+)
+from .server import GraphService
+
+__all__ = [
+    "GraphService",
+    "JobSpec",
+    "RemoteJobHandle",
+    "ServiceClient",
+    "available_apps",
+    "build_app_factory",
+    "cache_key",
+    "canonical_params",
+    "register_service_app",
+]

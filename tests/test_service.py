@@ -1,0 +1,379 @@
+"""The resident-graph job service: wire protocol, admission, fairness.
+
+End-to-end over real localhost sockets: concurrent submitters get the
+same answers as serial oracles, a repeated submission is served from the
+result cache with *zero* mining rounds, per-job quotas bound concurrent
+worker use, the stride scheduler keeps a backlogged tenant from starving
+a light one, and a full admission queue rejects loudly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import GThinkerConfig
+from repro.algorithms import count_triangles, max_clique_reference
+from repro.algorithms.matching import count_matches, triangle_query
+from repro.apps import TriangleCountComper
+from repro.core.errors import JobCancelledError, JobRejectedError, ServiceError
+from repro.graph import erdos_renyi, graph_digest, with_random_labels
+from repro.service import (
+    GraphService,
+    JobSpec,
+    ServiceClient,
+    cache_key,
+    canonical_params,
+    register_service_app,
+)
+
+TRIANGLE_EDGES = [[0, 1], [1, 2], [0, 2]]
+
+
+def cfg(**kw):
+    base = dict(num_workers=2, compers_per_worker=2, task_batch_size=4)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return with_random_labels(erdos_renyi(90, 0.1, seed=23), num_labels=3,
+                              seed=5)
+
+
+@pytest.fixture(scope="module")
+def oracles(graph):
+    return {
+        "tc": count_triangles(graph),
+        "mcf": len(max_clique_reference(graph)),
+        "gm": count_matches(graph, triangle_query()),
+    }
+
+
+@pytest.fixture
+def service(graph):
+    with GraphService(graph, config=cfg(), runtime="threaded",
+                      worker_budget=4) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    host, port = service.address
+    with ServiceClient(f"{host}:{port}") as c:
+        yield c
+
+
+# -- a deterministic blocking app for scheduler tests -------------------
+
+_STARTED = threading.Event()
+_RELEASE = threading.Event()
+
+
+def _block_builder(params):
+    def factory():
+        _STARTED.set()
+        if not _RELEASE.wait(30):  # pragma: no cover - hung test guard
+            raise RuntimeError("blocking app never released")
+        return TriangleCountComper()
+
+    return factory
+
+
+register_service_app(
+    "block", _block_builder,
+    description="test-only: holds its worker quota until released",
+    defaults={"id": 0},
+)
+
+
+def _fail_builder(params):
+    def factory():
+        raise RuntimeError("kaboom at mining time")
+
+    return factory
+
+
+register_service_app(
+    "fail", _fail_builder,
+    description="test-only: passes admission, explodes at run time",
+)
+
+
+@pytest.fixture
+def gate():
+    """Arms the 'block' app; yields (wait_started, release)."""
+    _STARTED.clear()
+    _RELEASE.clear()
+    yield (lambda: _STARTED.wait(10)), _RELEASE.set
+    _RELEASE.set()  # never leave a runner thread hanging
+
+
+# -- end-to-end over the socket -----------------------------------------
+
+
+class TestEndToEnd:
+    def test_hello_reports_graph_and_limits(self, graph, client):
+        info = client.server_info()
+        assert info["graph_digest"] == graph_digest(graph)
+        assert info["num_vertices"] == graph.num_vertices
+        assert {"tc", "mcf", "cliques", "qc", "gm"} <= set(info["apps"])
+        assert info["worker_budget"] == 4
+
+    def test_concurrent_submitters_match_oracles(self, service, oracles):
+        """N client threads × (tc, mcf, gm) — every answer equals its
+        serial oracle even while the jobs interleave."""
+        host, port = service.address
+        answers, failures = {}, []
+
+        def submitter(name, app, params):
+            try:
+                with ServiceClient(f"{host}:{port}") as c:
+                    handle = c.submit(app, params, tenant=name)
+                    answers[(name, app)] = handle.result(timeout=120)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                failures.append((name, app, exc))
+
+        jobs = [("alice", "tc", {}), ("bob", "mcf", {}),
+                ("carol", "gm", {"query_edges": TRIANGLE_EDGES}),
+                ("dave", "tc", {"bundle": 8})]
+        threads = [threading.Thread(target=submitter, args=j) for j in jobs]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+        assert not failures, failures
+        assert answers[("alice", "tc")].aggregate == oracles["tc"]
+        assert answers[("dave", "tc")].aggregate == oracles["tc"]
+        assert len(answers[("bob", "mcf")].aggregate) == oracles["mcf"]
+        assert answers[("carol", "gm")].aggregate == oracles["gm"]
+
+    def test_remote_handle_protocol(self, client, oracles):
+        handle = client.submit("tc")
+        result = handle.result(timeout=120)
+        assert result.aggregate == oracles["tc"]
+        assert handle.status() == "done"
+        assert handle.done()
+        assert not handle.cancel()  # finished jobs are not cancellable
+
+    def test_unknown_app_and_bad_params_reject(self, client):
+        with pytest.raises(JobRejectedError, match="unknown app"):
+            client.submit("frobnicate")
+        with pytest.raises(JobRejectedError, match="gamma"):
+            client.submit("qc", {"gamma": 7})
+        with pytest.raises(JobRejectedError, match="unknown parameter"):
+            client.submit("tc", {"wat": 1})
+
+    def test_unknown_job_id_is_a_service_error(self, client):
+        with pytest.raises(ServiceError, match="no such job"):
+            client.status("job-9999")
+
+    def test_failed_job_reports_error_string(self, client):
+        # 'fail' passes admission but explodes once workers build it;
+        # the error must come back typed with the original message.
+        handle = client.submit("fail")
+        with pytest.raises(ServiceError, match="kaboom"):
+            handle.result(timeout=120)
+        assert handle.status() == "failed"
+        assert "RuntimeError" in handle.record["error"]
+
+
+# -- the result cache ----------------------------------------------------
+
+
+class TestResultCache:
+    def test_repeat_submission_hits_cache_with_zero_rounds(self, client,
+                                                           oracles):
+        first = client.submit("mcf")
+        r1 = first.result(timeout=120)
+        assert first.record["mining_rounds"] > 0
+        second = client.submit("mcf")
+        assert second.record["cached"]
+        assert second.record["status"] == "done"
+        assert second.record["mining_rounds"] == 0
+        r2 = second.result(timeout=10)
+        assert r2.aggregate == r1.aggregate
+        stats = client.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["executed"] == 1  # the second submission ran nothing
+
+    def test_default_params_share_the_cache_entry(self, client):
+        spelled = client.submit("cliques", {"min_size": 3})
+        spelled.result(timeout=120)
+        # Same computation with the default elided: must hit, not rerun.
+        defaulted = client.submit("cliques", {})
+        assert defaulted.record["cached"]
+
+    def test_different_params_miss(self, client):
+        client.submit("cliques", {"min_size": 3}).result(timeout=120)
+        other = client.submit("cliques", {"min_size": 5})
+        assert not other.record["cached"]
+        other.result(timeout=120)
+
+    def test_cache_key_is_digest_and_canonical_params(self, graph):
+        digest = graph_digest(graph)
+        assert (cache_key(digest, "qc", {"gamma": 0.8})
+                == cache_key(digest, "qc", {"min_size": 4, "gamma": 0.8}))
+        assert (cache_key(digest, "qc", {"gamma": 0.8})
+                != cache_key(digest, "qc", {"gamma": 0.9}))
+        assert canonical_params("tc") == canonical_params("tc", {"bundle": 0})
+
+    def test_cache_disabled(self, graph):
+        with GraphService(graph, config=cfg(), result_cache_size=0) as svc:
+            svc.submit(JobSpec("tc"))
+            svc.wait_result("job-1", timeout=120)
+            again = svc.submit(JobSpec("tc"))
+            assert not again["cached"]
+            svc.wait_result(again["job_id"], timeout=120)
+
+
+# -- admission: quotas, fairness, backpressure ---------------------------
+
+
+class TestAdmission:
+    def test_quota_bounds_concurrency(self, graph, gate):
+        """worker_budget=2 with 2-worker jobs ⇒ strictly one at a time."""
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            first = svc.submit(JobSpec("block"))
+            assert wait_started()
+            second = svc.submit(JobSpec("tc"))
+            assert first["status"] == "running"
+            assert second["status"] == "queued"
+            assert svc.stats()["workers_available"] == 0
+            release()
+            svc.wait_result(second["job_id"], timeout=120)
+            assert svc.stats()["workers_available"] == 2
+
+    def test_per_job_quota_is_capped(self, graph):
+        with GraphService(graph, config=cfg(), worker_budget=4,
+                          max_workers_per_job=2) as svc:
+            record = svc.submit(JobSpec("tc", num_workers=64))
+            assert record["quota"] == 2
+            result = svc.wait_result(record["job_id"], timeout=120)
+            assert result.num_workers == 2
+
+    def test_queue_full_rejects_explicitly(self, graph, gate):
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2,
+                          max_queue_depth=2) as svc:
+            svc.submit(JobSpec("block"))
+            assert wait_started()
+            svc.submit(JobSpec("tc"))
+            svc.submit(JobSpec("cliques"))
+            with pytest.raises(JobRejectedError, match="queue is full"):
+                svc.submit(JobSpec("mcf"))
+            assert svc.stats()["rejected"] == 1
+            release()
+
+    def test_backlogged_tenant_cannot_starve_light_one(self, graph, gate):
+        """heavy queues four jobs behind a blocker; light then submits
+        one.  Stride scheduling runs light's job next — it finishes
+        before every queued heavy job, despite arriving last."""
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2,
+                          max_queue_depth=16) as svc:
+            svc.submit(JobSpec("block", tenant="heavy"))
+            assert wait_started()
+            heavy = [svc.submit(JobSpec("block", {"id": n}, tenant="heavy"))
+                     for n in range(1, 5)]
+            light = svc.submit(JobSpec("tc", tenant="light"))
+            release()
+            svc.wait_result(light["job_id"], timeout=120)
+            for record in heavy:
+                svc.wait_result(record["job_id"], timeout=120)
+            done_seq = {r["job_id"]: svc.status(r["job_id"])["done_seq"]
+                        for r in heavy + [light]}
+            light_seq = done_seq[light["job_id"]]
+            heavy_seqs = [done_seq[r["job_id"]] for r in heavy]
+            assert light_seq < max(heavy_seqs), (
+                f"light tenant finished {light_seq} after the whole heavy "
+                f"backlog {heavy_seqs} - starved"
+            )
+
+    def test_tenant_weights_validated(self, graph):
+        with pytest.raises(ValueError, match="weight"):
+            GraphService(graph, tenant_weights={"x": 0})
+
+    def test_cancel_queued_job(self, graph, gate, oracles):
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            host, port = svc.start().address
+            with ServiceClient(f"{host}:{port}") as c:
+                blocker = c.submit("block")
+                assert wait_started()
+                queued = c.submit("tc")
+                assert queued.cancel()
+                assert queued.status() == "cancelled"
+                with pytest.raises(JobCancelledError):
+                    queued.result(timeout=5)
+                release()
+                assert blocker.result(timeout=120).aggregate == oracles["tc"]
+                assert c.stats()["cancelled"] == 1
+
+
+# -- wire robustness ------------------------------------------------------
+
+
+class TestWire:
+    def test_malformed_request_gets_typed_error(self, service):
+        from repro.net.tcp import ControlChannel, connect_with_retry
+
+        host, port = service.address
+        chan = ControlChannel(connect_with_retry(host, port, 10.0))
+        try:
+            chan.send_obj(("no-such-op", {}))
+            status, body = chan.recv_obj(timeout=10)
+            assert status == "error" and body["kind"] == "bad-request"
+            chan.send_obj("not even a tuple")
+            status, body = chan.recv_obj(timeout=10)
+            assert status == "error" and body["kind"] == "bad-request"
+            # The connection survives garbage: a well-formed request
+            # afterwards still answers.
+            chan.send_obj(("stats", {}))
+            status, body = chan.recv_obj(timeout=10)
+            assert status == "ok"
+        finally:
+            chan.close()
+
+    def test_shutdown_op_stops_server(self, graph):
+        svc = GraphService(graph, config=cfg()).start()
+        host, port = svc.address
+        waiter = threading.Thread(target=svc.serve_forever, daemon=True)
+        waiter.start()
+        with ServiceClient(f"{host}:{port}") as c:
+            c.shutdown()
+        waiter.join(timeout=15)
+        assert not waiter.is_alive()
+
+
+# -- CLI front end --------------------------------------------------------
+
+
+class TestCLI:
+    def test_submit_and_jobs_roundtrip(self, service, oracles, capsys):
+        from repro.cli import main
+
+        host, port = service.address
+        server = f"{host}:{port}"
+        assert main(["submit", "--server", server, "--app", "tc"]) == 0
+        out = capsys.readouterr().out
+        assert f"aggregate    : {oracles['tc']}" in out
+
+        assert main(["submit", "--server", server, "--app", "tc"]) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+        assert main(["jobs", "--server", server, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "job-1" in out and "cache_hits" in out
+
+    def test_submit_rejection_exits_nonzero(self, service, capsys):
+        from repro.cli import main
+
+        host, port = service.address
+        rc = main(["submit", "--server", f"{host}:{port}",
+                   "--app", "qc", "--param", "gamma=9"])
+        assert rc == 1
+        assert "rejected" in capsys.readouterr().err
