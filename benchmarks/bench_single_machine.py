@@ -66,6 +66,11 @@ def compare_runtimes(quick: bool = False) -> dict:
         result = run_job(MaxCliqueComper, graph, config, runtime=runtime)
         wall_s = time.perf_counter() - started
         runs[runtime] = {
+            # The worker count this entry actually ran with (the serial
+            # runtime executes every worker loop on one thread).
+            "process_workers": config.num_workers,
+            "cpu_count": os.cpu_count(),
+            "speedup_valid": (os.cpu_count() or 1) >= 2,
             "wall_s": round(wall_s, 4),
             "engine_elapsed_s": round(result.elapsed_s, 4),
             "clique_size": len(result.aggregate or ()),
@@ -90,6 +95,7 @@ def compare_runtimes(quick: bool = False) -> dict:
             "decompose_threshold": config.decompose_threshold,
         },
         "cpu_count": os.cpu_count(),
+        "process_workers": workers,
         # Single-core boxes cannot show a parallel speedup; downstream
         # gates must not treat the ratio as a regression signal there.
         "speedup_valid": (os.cpu_count() or 1) >= 2,

@@ -49,13 +49,17 @@ class TriangleCountComper(Comper):
     def compute(self, task: Task, frontier: Sequence[VertexView]) -> bool:
         u, gt_u = task.context
         count = 0
-        for view in frontier:
-            # view.adj is Γ_>(view.id) thanks to the trimmer.
-            if self._list:
+        if self._list:
+            for view in frontier:
+                # view.adj is Γ_>(view.id) thanks to the trimmer.
                 for w in kernels.intersect(gt_u, view.adj).tolist():
                     self.output((u, int(view.id), w))
                     count += 1
-            else:
-                count += kernels.intersect_count(gt_u, view.adj)
+        else:
+            # Whole frontier in one fused kernel call (view.adj is
+            # Γ_>(view.id) thanks to the trimmer).
+            count = kernels.intersect_count_many(
+                gt_u, [view.adj for view in frontier]
+            )
         self.aggregate(count)
         return False

@@ -133,6 +133,9 @@ def _node_serve(
     transport = None
     try:
         metrics = MetricsRegistry()
+        from .job import activate_kernel_backend
+
+        activate_kernel_backend(config, metrics)
         transport = TcpTransport(
             node_id,
             config.num_workers,

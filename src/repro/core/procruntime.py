@@ -153,6 +153,11 @@ def _worker_main(
     try:
         csr = SharedCSR.attach(csr_meta)
         metrics = MetricsRegistry()
+        # Honor kernel_backend in the child even under 'spawn' (where the
+        # parent's import-time selection is not inherited).
+        from .job import activate_kernel_backend
+
+        activate_kernel_backend(config, metrics)
         transport = ProcessTransport(
             worker_id,
             data_queues,

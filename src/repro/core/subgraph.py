@@ -13,6 +13,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..graph import kernels
+
 __all__ = ["Subgraph"]
 
 
@@ -51,9 +53,17 @@ class Subgraph:
         """
         if isinstance(adj, np.ndarray):
             if keep_only is not None and adj.size >= 256:
-                keep = (keep_only if isinstance(keep_only, np.ndarray)
-                        else np.fromiter(keep_only, dtype=np.int64))
-                adj = adj[np.isin(adj, keep, assume_unique=False)]
+                # Hub-sized rows: the candidate filter is a sorted-set
+                # intersection (adj is sorted/duplicate-free by the
+                # adjacency contract), so it runs on the dispatched
+                # kernel backend.  Sets are sorted here — np.isin would
+                # have sorted them internally anyway.
+                if isinstance(keep_only, np.ndarray):
+                    keep = np.unique(keep_only.astype(np.int64))
+                else:
+                    keep = np.fromiter(keep_only, dtype=np.int64)
+                    keep.sort()
+                adj = kernels.intersect(adj, keep)
                 keep_only = None
             adj = adj.tolist()  # boxes to python ints in one C pass
             if keep_only is None:

@@ -124,10 +124,15 @@ class CSRGraph:
         for u in range(self.num_vertices):
             row_u = indices[indptr[u]: indptr[u + 1]]
             upper_u = kernels.suffix_gt(row_u, u)
-            for v in upper_u:
-                row_v = indices[indptr[v]: indptr[v + 1]]
-                upper_v = kernels.suffix_gt(row_v, v)
-                total += kernels.intersect_count(upper_u, upper_v)
+            if upper_u.size < 1:
+                continue
+            total += kernels.intersect_count_many(
+                upper_u,
+                [
+                    kernels.suffix_gt(indices[indptr[v]: indptr[v + 1]], v)
+                    for v in upper_u.tolist()
+                ],
+            )
         return total
 
     def memory_bytes(self) -> int:

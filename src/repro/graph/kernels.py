@@ -1,4 +1,4 @@
-"""Vectorized sorted-array kernels for the NumPy-native adjacency path.
+"""Sorted-array mining kernels with pluggable backends (numpy / numba).
 
 Every adjacency list on the hot path is a sorted, duplicate-free
 ``numpy.ndarray`` of ``int64`` vertex ids (a zero-copy view into a
@@ -7,40 +7,76 @@ ones).  The mining inner loops — triangle counting, clique expansion,
 subgraph-matching candidate generation — all reduce to intersections of
 such arrays, so this module is the single place they are implemented.
 
-Two strategies, auto-selected by :func:`intersect` / :func:`intersect_count`:
+Backends
+--------
+Two implementations of the dispatched kernel set exist:
 
-* **merge** when the inputs are comparably sized: concatenate and
-  stable-sort, then keep adjacent duplicates.  The concatenation of two
-  sorted arrays is exactly two pre-sorted runs, which numpy's stable
-  sort (timsort) merges in O(|a| + |b|) — measurably faster than
-  ``np.intersect1d``'s quicksort, which cannot exploit the runs.
-* **gallop** (``np.searchsorted`` of the smaller array into the larger)
-  when ``|b| >= GALLOP_RATIO * |a|`` — O(|a| log |b|), the galloping
-  search the TODO in :mod:`repro.graph.graph` asked for.  This is the
-  common shape in degree-skewed graphs where a low-degree frontier is
-  intersected against a hub's adjacency.
+* ``numpy`` — the vectorized implementations below.  Always available;
+  the reference against which everything else is checked.
+* ``numba`` — ``@njit(cache=True)`` compiled kernels in
+  :mod:`repro.graph.kernels_compiled`, plus compiled extras (the bitset
+  branch-and-bound core used by :func:`repro.algorithms.cliques.max_clique`).
+  Available only when numba is importable; ``'auto'`` falls back to
+  numpy silently.
+
+Selection happens once at import from the ``REPRO_KERNEL_BACKEND``
+environment variable (``auto`` when unset) and again per job from
+``GThinkerConfig.kernel_backend`` (the environment variable wins — see
+``GThinkerConfig.effective_kernel_backend``).  :func:`select_backend`
+rebinds the dispatched module-level functions (``intersect``,
+``intersect_count``, ``intersect_many``, ``intersect_count_many``,
+``suffix_gt``, ``bitset_and_counts``) in place, so every call site that
+does ``kernels.intersect(...)`` picks up the active backend with zero
+added indirection.  The job records what actually ran under the
+``kernels:backend:<name>`` metric.
+
+Strategy auto-selection inside ``intersect`` / ``intersect_count``:
+
+* **merge** when the inputs are comparably sized: for numpy, concatenate
+  and stable-sort (timsort merges the two pre-sorted runs linearly); for
+  numba, a two-pointer linear merge.
+* **gallop** (binary-searching the smaller array into the larger) when
+  ``|b| >= GALLOP_RATIO * |a|`` — O(|a| log |b|), the common shape in
+  degree-skewed graphs where a low-degree frontier is intersected
+  against a hub's adjacency.
+
+``GALLOP_RATIO`` is re-derived per backend: the compiled linear merge is
+much faster than numpy's sort-based one, so the crossover to galloping
+moves out (8 for numpy, 32 for numba — re-measure with
+``benchmarks/bench_scaling.py --calibrate``).
 
 The pure-Python ``intersect_sorted`` / ``intersect_sorted_count`` /
 ``adjacency_suffix_gt`` in :mod:`repro.graph.graph` are kept unchanged as
 the reference oracles; ``tests/test_kernels.py`` checks every kernel here
-against them on randomized inputs.
+against them on randomized inputs under every available backend, and
+``tests/test_kernels_property.py`` adds hypothesis property coverage.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+import os
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 __all__ = [
     "GALLOP_RATIO",
     "IdArray",
+    "KernelBackendError",
     "as_ids_array",
+    "available_backends",
+    "bitset_and_counts",
+    "compiled_kernel",
+    "current_backend",
     "intersect",
     "intersect_count",
+    "intersect_count_many",
     "intersect_gallop",
     "intersect_many",
     "intersect_merge",
+    "pack_mask",
+    "pack_rows",
+    "select_backend",
     "suffix_gt",
 ]
 
@@ -49,10 +85,24 @@ AdjLike = Union[np.ndarray, Sequence[int]]
 
 #: Switch from the linear merge to the galloping (binary-search) kernel
 #: when the larger input is at least this many times the smaller one.
+#: Rebound per backend by :func:`select_backend`.
 GALLOP_RATIO = 8
+
+#: Per-backend merge/gallop crossover, derived from the kernel
+#: micro-benchmark (``bench_scaling.py --calibrate``): numpy's sort-based
+#: merge loses to searchsorted early; the compiled two-pointer merge
+#: stays ahead until much heavier skew.
+GALLOP_RATIO_BY_BACKEND = {"numpy": 8, "numba": 32}
+
+#: Backend names ``select_backend`` accepts (besides ``'auto'``).
+BACKEND_NAMES = ("numpy", "numba")
 
 _EMPTY = np.empty(0, dtype=np.int64)
 _EMPTY.flags.writeable = False
+
+
+class KernelBackendError(RuntimeError):
+    """An explicitly requested kernel backend cannot be used."""
 
 
 def as_ids_array(adj: AdjLike) -> IdArray:
@@ -68,6 +118,11 @@ def as_ids_array(adj: AdjLike) -> IdArray:
             return adj
         return adj.astype(np.int64)
     return np.asarray(adj, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# numpy backend
+# ---------------------------------------------------------------------------
 
 
 def _gallop_mask(small: IdArray, large: IdArray) -> np.ndarray:
@@ -93,7 +148,11 @@ def _merge(a: IdArray, b: IdArray) -> IdArray:
 
 
 def intersect_merge(a: AdjLike, b: AdjLike) -> IdArray:
-    """Linear-merge intersection of two sorted duplicate-free arrays."""
+    """Linear-merge intersection of two sorted duplicate-free arrays.
+
+    Strategy-forcing numpy variant (backend-independent), kept public for
+    crossover measurement and tests.
+    """
     a = as_ids_array(a)
     b = as_ids_array(b)
     if a.size == 0 or b.size == 0:
@@ -102,7 +161,11 @@ def intersect_merge(a: AdjLike, b: AdjLike) -> IdArray:
 
 
 def intersect_gallop(a: AdjLike, b: AdjLike) -> IdArray:
-    """Galloping intersection: binary-search the smaller into the larger."""
+    """Galloping intersection: binary-search the smaller into the larger.
+
+    Strategy-forcing numpy variant (backend-independent), kept public for
+    crossover measurement and tests.
+    """
     a = as_ids_array(a)
     b = as_ids_array(b)
     if a.size > b.size:
@@ -112,7 +175,7 @@ def intersect_gallop(a: AdjLike, b: AdjLike) -> IdArray:
     return a[_gallop_mask(a, b)]
 
 
-def intersect(a: AdjLike, b: AdjLike) -> IdArray:
+def _np_intersect(a: AdjLike, b: AdjLike) -> IdArray:
     """Sorted-array intersection, auto-selecting merge vs gallop.
 
     Returns a sorted int64 array.  The result is always a fresh (owned)
@@ -129,7 +192,7 @@ def intersect(a: AdjLike, b: AdjLike) -> IdArray:
     return _merge(a, b)
 
 
-def intersect_count(a: AdjLike, b: AdjLike) -> int:
+def _np_intersect_count(a: AdjLike, b: AdjLike) -> int:
     """``len(intersect(a, b))`` without materializing the result.
 
     Same merge/gallop auto-selection as :func:`intersect`, but both
@@ -149,25 +212,59 @@ def intersect_count(a: AdjLike, b: AdjLike) -> int:
     return int(np.count_nonzero(aux[1:] == aux[:-1]))
 
 
-def intersect_many(arrays: Iterable[AdjLike]) -> IdArray:
+def _np_intersect_many(arrays: Iterable[AdjLike]) -> IdArray:
     """Fold an intersection across a frontier of sorted arrays.
 
-    Processes smallest-first so the running result shrinks as fast as
-    possible, and bails out the moment it empties.  An empty iterable
-    returns an empty array (there is no universe set to return).
+    Conversion is streamed: the moment any input is empty the fold bails
+    out *before* materializing the remaining inputs (an empty member
+    empties the whole intersection).  The survivors are processed
+    smallest-first so the running result shrinks as fast as possible.
+    An empty iterable returns an empty array (there is no universe set
+    to return).
     """
-    arrs = sorted((as_ids_array(a) for a in arrays), key=lambda x: x.size)
+    arrs = []
+    for a in arrays:
+        arr = as_ids_array(a)
+        if arr.size == 0:
+            return _EMPTY
+        arrs.append(arr)
     if not arrs:
         return _EMPTY
+    arrs.sort(key=lambda x: x.size)
     acc = arrs[0]
     for nxt in arrs[1:]:
+        acc = _np_intersect(acc, nxt)
         if acc.size == 0:
             return _EMPTY
-        acc = intersect(acc, nxt)
     return acc
 
 
-def suffix_gt(adj: AdjLike, v: int) -> IdArray:
+def _np_intersect_count_many(a: AdjLike, arrays: Iterable[AdjLike]) -> int:
+    """Fused ``sum(intersect_count(a, b) for b in arrays)``.
+
+    The triangle-counting inner loop: one fixed row ``a`` intersected
+    against a frontier of rows, never materializing any intersection.
+    The ``a``-side normalization is hoisted out of the loop.
+    """
+    a = as_ids_array(a)
+    if a.size == 0:
+        return 0
+    total = 0
+    for b in arrays:
+        b = as_ids_array(b)
+        if b.size == 0:
+            continue
+        small, large = (a, b) if a.size <= b.size else (b, a)
+        if large.size >= GALLOP_RATIO * small.size:
+            total += int(np.count_nonzero(_gallop_mask(small, large)))
+        else:
+            aux = np.concatenate((small, large))
+            aux.sort(kind="stable")
+            total += int(np.count_nonzero(aux[1:] == aux[:-1]))
+    return total
+
+
+def _np_suffix_gt(adj: AdjLike, v: int) -> IdArray:
     """Slice of ``adj`` strictly greater than ``v`` (sorted input).
 
     For ndarray input this is a *view* — it shares memory with ``adj``,
@@ -176,3 +273,183 @@ def suffix_gt(adj: AdjLike, v: int) -> IdArray:
     """
     a = as_ids_array(adj)
     return a[int(np.searchsorted(a, v, side="right")):]
+
+
+# ---------------------------------------------------------------------------
+# Bitset packing (shared) + popcount kernels (dispatched)
+# ---------------------------------------------------------------------------
+
+_WORD_BITS = 64
+
+# 16-bit popcount lookup, shared with the compiled backend (numba indexes
+# it as a global) and the pre-numpy-2.0 fallback below.
+_POPCOUNT16 = np.array([bin(i).count("1") for i in range(1 << 16)],
+                       dtype=np.int64)
+
+
+def bitset_words(n: int) -> int:
+    """Number of uint64 words needed for an ``n``-bit set."""
+    return (int(n) + _WORD_BITS - 1) // _WORD_BITS
+
+
+def pack_mask(positions: AdjLike, n: int) -> np.ndarray:
+    """Pack dense positions (``0 <= p < n``) into a ``(W,)`` uint64 bitset."""
+    words = np.zeros(bitset_words(n), dtype=np.uint64)
+    pos = as_ids_array(positions)
+    if pos.size:
+        np.bitwise_or.at(
+            words, pos >> 6,
+            np.uint64(1) << (pos.astype(np.uint64) & np.uint64(63)),
+        )
+    return words
+
+
+def pack_rows(rows: Sequence[AdjLike], n: int) -> np.ndarray:
+    """Pack per-vertex position rows into an ``(len(rows), W)`` bitset matrix."""
+    out = np.zeros((len(rows), bitset_words(n)), dtype=np.uint64)
+    for i, row in enumerate(rows):
+        pos = as_ids_array(row)
+        if pos.size:
+            np.bitwise_or.at(
+                out[i], pos >> 6,
+                np.uint64(1) << (pos.astype(np.uint64) & np.uint64(63)),
+            )
+    return out
+
+
+if hasattr(np, "bitwise_count"):
+    def _np_popcount_words(words: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(words).astype(np.int64)
+else:  # pragma: no cover - numpy < 2.0
+    def _np_popcount_words(words: np.ndarray) -> np.ndarray:
+        m16 = np.uint64(0xFFFF)
+        return (
+            _POPCOUNT16[(words & m16).astype(np.int64)]
+            + _POPCOUNT16[((words >> np.uint64(16)) & m16).astype(np.int64)]
+            + _POPCOUNT16[((words >> np.uint64(32)) & m16).astype(np.int64)]
+            + _POPCOUNT16[(words >> np.uint64(48)).astype(np.int64)]
+        )
+
+
+def _np_bitset_and_counts(rows_words: np.ndarray, mask_words: np.ndarray) -> np.ndarray:
+    """Per-row ``popcount(row & mask)`` over packed bitsets.
+
+    The quasi-clique bound computation: given the packed adjacency rows
+    of k vertices and a packed member/candidate mask, return the k
+    in-set degrees in one shot.
+    """
+    if rows_words.ndim == 1:
+        rows_words = rows_words[None, :]
+    return _np_popcount_words(rows_words & mask_words).sum(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry / dispatch
+# ---------------------------------------------------------------------------
+
+#: Module-level names rebound by :func:`select_backend`.
+DISPATCHED_KERNELS = (
+    "intersect",
+    "intersect_count",
+    "intersect_many",
+    "intersect_count_many",
+    "suffix_gt",
+    "bitset_and_counts",
+)
+
+_NUMPY_KERNELS: Dict[str, Callable] = {
+    "intersect": _np_intersect,
+    "intersect_count": _np_intersect_count,
+    "intersect_many": _np_intersect_many,
+    "intersect_count_many": _np_intersect_count_many,
+    "suffix_gt": _np_suffix_gt,
+    "bitset_and_counts": _np_bitset_and_counts,
+}
+
+_BACKEND_NAME = "numpy"
+#: Backend-only extras (e.g. ``bitset_max_clique``); empty on numpy.
+_COMPILED_EXTRAS: Dict[str, Callable] = {}
+
+# Default bindings so the module is usable even if select_backend is
+# bypassed; overwritten immediately by the bottom-of-module selection.
+intersect = _np_intersect
+intersect_count = _np_intersect_count
+intersect_many = _np_intersect_many
+intersect_count_many = _np_intersect_count_many
+suffix_gt = _np_suffix_gt
+bitset_and_counts = _np_bitset_and_counts
+
+
+def _numba_importable() -> bool:
+    try:
+        import importlib.util
+
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic envs
+        return False
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this environment (``numpy`` always is)."""
+    names = ["numpy"]
+    if _numba_importable():
+        names.append("numba")
+    return tuple(names)
+
+
+def current_backend() -> str:
+    """Name of the backend the dispatched kernels are bound to."""
+    return _BACKEND_NAME
+
+
+def compiled_kernel(name: str) -> Optional[Callable]:
+    """A backend extra (e.g. ``'bitset_max_clique'``), or None.
+
+    Extras exist only on compiled backends; callers keep their pure
+    path as the fallback and oracle.
+    """
+    return _COMPILED_EXTRAS.get(name)
+
+
+def select_backend(name: str = "auto") -> str:
+    """Bind the dispatched kernels to a backend; returns the chosen name.
+
+    ``'auto'`` picks numba when importable, else numpy — never raising.
+    An explicit ``'numba'`` raises :class:`KernelBackendError` when numba
+    is unavailable (a forced backend must not silently degrade).
+    """
+    global _BACKEND_NAME, _COMPILED_EXTRAS, GALLOP_RATIO
+    requested = name or "auto"
+    if requested not in BACKEND_NAMES + ("auto",):
+        raise ValueError(
+            f"unknown kernel backend {name!r}; pick one of "
+            f"{('auto',) + BACKEND_NAMES}"
+        )
+    chosen = requested
+    if requested == "auto":
+        chosen = "numba" if _numba_importable() else "numpy"
+    if chosen == "numba":
+        from . import kernels_compiled
+
+        if not kernels_compiled.NUMBA_AVAILABLE:
+            raise KernelBackendError(
+                "kernel backend 'numba' was explicitly requested but numba "
+                "is not importable; install it (pip install repro[compiled]) "
+                "or use kernel_backend='auto'/'numpy'"
+            )
+        table, extras = kernels_compiled.make_backend()
+    else:
+        table, extras = _NUMPY_KERNELS, {}
+    g = globals()
+    for key in DISPATCHED_KERNELS:
+        g[key] = table[key]
+    GALLOP_RATIO = GALLOP_RATIO_BY_BACKEND[chosen]
+    _COMPILED_EXTRAS = extras
+    _BACKEND_NAME = chosen
+    return chosen
+
+
+# One-time selection at import: REPRO_KERNEL_BACKEND forces a backend
+# (and fails loudly if it cannot be honored); unset means 'auto', which
+# silently falls back to numpy without numba.
+select_backend(os.environ.get("REPRO_KERNEL_BACKEND") or "auto")
