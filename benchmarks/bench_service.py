@@ -18,9 +18,24 @@ What PR 7 claims, this measures:
   (the record's ``mining_rounds`` field is the executed job's
   ``tasks:iterations`` worker metric; a cache hit never touches a
   worker).  Any re-mined repeat fails the gate.
+* **The cancellation proof** — a running mcf job on
+  ``runtime='process'`` is cancelled mid-mining with a tc follower
+  queued behind its quota; the gate fails unless the victim settles
+  ``cancelled`` *before* the follower (``done_seq`` ordering), the
+  follower's answer matches its oracle, and the budget comes back
+  whole.  ``cancel_latency_*`` is cancel-call → follower-running:
+  exactly the "quota re-admitted within one scheduler pass" claim.
+* **The dedup proof** — with the result cache off, three identical
+  concurrent mcf submissions must produce one execution
+  (``stats()['executed'] == 1``), two attached subscribers, and three
+  equal answers.
+* **The restart-cache proof** — a second service instance sharing the
+  first one's ``cache_dir`` must answer a repeat submission ``cached``
+  with zero mining rounds, having executed nothing.
 
-Exit status is non-zero if any answer differs from its oracle or any
-warm repeat actually re-mined — the CI ``service-smoke`` gate.
+Exit status is non-zero if any answer differs from its oracle, any
+warm repeat re-mined, or any of the cancel / dedup / restart gates
+fail — the CI ``service-smoke`` gate.
 
 Run::
 
@@ -32,6 +47,7 @@ import json
 import os
 import statistics
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -40,8 +56,9 @@ if __name__ == "__main__":  # script mode: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import GThinkerConfig, run_job
+from repro.core.errors import JobCancelledError
 from repro.graph import erdos_renyi
-from repro.service import GraphService, ServiceClient, build_app_factory
+from repro.service import GraphService, JobSpec, ServiceClient, build_app_factory
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
@@ -146,6 +163,166 @@ def summarize(rows, wall):
     }
 
 
+def _wait_status(service, job_id, statuses, timeout=120.0):
+    """Poll (in-process) until the job reaches one of ``statuses``."""
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if service.status(job_id)["status"] in statuses:
+            return True
+        time.sleep(0.001)
+    return False
+
+
+def bench_cancellation(samples):
+    """Phase 3 — the running-cancel proof on ``runtime='process'``.
+
+    Each sample: a running mcf victim holds the whole worker budget, a
+    tc follower queues behind it, the victim is cancelled mid-mining.
+    The latency is cancel-call -> follower-running: exactly how long
+    the cancelled quota took to be re-admitted.
+
+    Runs on its own dense graph: mcf there mines for seconds, so every
+    cancel reliably lands mid-run (on the main benchmark graph mcf can
+    finish before the abort does, voiding the sample).
+    """
+    failures, latencies = [], []
+    config = _config()
+    graph = erdos_renyi(400, 0.3, seed=7)
+    oracle_tc = int(run_job(build_app_factory("tc", {}), graph, config,
+                            runtime="serial").aggregate)
+    with GraphService(graph, config=config, runtime="process",
+                      worker_budget=config.num_workers,
+                      result_cache_size=0) as svc:
+        for i in range(samples):
+            victim = svc.submit(JobSpec("mcf"))
+            if not _wait_status(svc, victim["job_id"], ("running",)):
+                failures.append(f"sample {i}: victim never started")
+                break
+            follower = svc.submit(JobSpec("tc"))
+            if follower["status"] != "queued":
+                failures.append(f"sample {i}: follower not queued "
+                                f"(got {follower['status']})")
+            time.sleep(0.05)  # give the victim real mining to abandon
+            cancel_at = time.perf_counter()
+            if not svc.cancel(victim["job_id"]):
+                failures.append(
+                    f"sample {i}: cancel refused, victim was "
+                    f"{svc.status(victim['job_id'])['status']}")
+                svc.wait_result(follower["job_id"], timeout=600)
+                continue
+            if _wait_status(svc, follower["job_id"], ("running", "done")):
+                latencies.append(time.perf_counter() - cancel_at)
+            else:
+                failures.append(f"sample {i}: follower never got the "
+                                f"cancelled victim's quota")
+            try:
+                answer = int(svc.wait_result(follower["job_id"],
+                                             timeout=600).aggregate)
+                if answer != oracle_tc:
+                    failures.append(f"sample {i}: follower answered "
+                                    f"{answer}, oracle {oracle_tc}")
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(f"sample {i}: follower failed: {exc}")
+            try:
+                svc.wait_result(victim["job_id"], timeout=60)
+                failures.append(f"sample {i}: victim finished despite cancel")
+            except JobCancelledError:
+                pass
+            v_seq = svc.status(victim["job_id"])["done_seq"]
+            f_seq = svc.status(follower["job_id"])["done_seq"]
+            if not (v_seq is not None and f_seq is not None
+                    and v_seq < f_seq):
+                failures.append(f"sample {i}: done_seq order broken "
+                                f"(victim {v_seq}, follower {f_seq})")
+        stats = svc.stats()
+    if stats["workers_available"] != config.num_workers:
+        failures.append(f"budget leak: {stats['workers_available']} of "
+                        f"{config.num_workers} workers available after drain")
+    summary = {
+        "samples": samples,
+        "graph": {"model": "erdos_renyi", "n": 400, "p": 0.3, "seed": 7,
+                  "num_edges": graph.num_edges},
+        "cancelled": stats["cancelled"],
+        "cancel_latency_p50_s": (round(statistics.median(latencies), 5)
+                                 if latencies else None),
+        "cancel_latency_p99_s": (round(_percentile(latencies, 0.99), 5)
+                                 if latencies else None),
+        "cancel_latency_max_s": (round(max(latencies), 5)
+                                 if latencies else None),
+        "cancel_proven": not failures and len(latencies) == samples,
+    }
+    return summary, failures
+
+
+def bench_dedup(graph, oracle_mcf):
+    """Phase 4 — three identical concurrent mcf submissions, cache off:
+    one execution, two attached subscribers, three equal answers."""
+    failures = []
+    with GraphService(graph, config=_config(), runtime="threaded",
+                      worker_budget=2, result_cache_size=0) as svc:
+        first = svc.submit(JobSpec("mcf", tenant="a"))
+        if not _wait_status(svc, first["job_id"], ("running",)):
+            failures.append("dedup: primary submission never started")
+        second = svc.submit(JobSpec("mcf", tenant="b"))
+        third = svc.submit(JobSpec("mcf", tenant="c"))
+        answers = []
+        for rec in (first, second, third):
+            try:
+                result = svc.wait_result(rec["job_id"], timeout=600)
+                answers.append(len(result.aggregate or ()))
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(f"dedup: {rec['job_id']} failed: {exc}")
+        stats = svc.stats()
+    if stats["executed"] != 1:
+        failures.append(f"dedup: executed {stats['executed']} times, want 1")
+    if stats["deduped"] != 2:
+        failures.append(f"dedup: {stats['deduped']} attachments, want 2")
+    if answers != [oracle_mcf] * 3:
+        failures.append(f"dedup: answers {answers}, oracle {oracle_mcf}")
+    summary = {
+        "executed": stats["executed"],
+        "deduped": stats["deduped"],
+        "attached_records": [bool(second["deduped"]), bool(third["deduped"])],
+        "dedup_proven": not failures,
+    }
+    return summary, failures
+
+
+def bench_restart_cache(graph, oracle_tc):
+    """Phase 5 — a restarted service (same ``cache_dir``) answers the
+    repeat from disk: cached, zero mining rounds, nothing executed."""
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="bench-service-cache-") as d:
+        with GraphService(graph, config=_config(), runtime="threaded",
+                          worker_budget=2, cache_dir=d) as svc:
+            rec = svc.submit(JobSpec("tc"))
+            svc.wait_result(rec["job_id"], timeout=600)
+        with GraphService(graph, config=_config(), runtime="threaded",
+                          worker_budget=2, cache_dir=d) as svc2:
+            repeat = svc2.submit(JobSpec("tc"))
+            answer = int(svc2.wait_result(repeat["job_id"],
+                                          timeout=60).aggregate)
+            record = svc2.status(repeat["job_id"])
+            stats = svc2.stats()
+    if not record["cached"]:
+        failures.append("restart: repeat was not served from the disk cache")
+    if record["mining_rounds"] != 0:
+        failures.append(f"restart: repeat mined "
+                        f"{record['mining_rounds']} rounds, want 0")
+    if stats["executed"] != 0:
+        failures.append(f"restart: restarted service executed "
+                        f"{stats['executed']} jobs, want 0")
+    if answer != oracle_tc:
+        failures.append(f"restart: answer {answer}, oracle {oracle_tc}")
+    summary = {
+        "cached": bool(record["cached"]),
+        "mining_rounds": record["mining_rounds"],
+        "executed": stats["executed"],
+        "restart_cache_proven": not failures,
+    }
+    return summary, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="job-service benchmark")
     parser.add_argument("--quick", action="store_true",
@@ -155,9 +332,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.quick:
-        n, p, submitters, laps = 250, 0.05, 2, 1
+        n, p, submitters, laps, cancel_samples = 250, 0.05, 2, 1, 3
     else:
-        n, p, submitters, laps = 800, 0.025, 4, 2
+        n, p, submitters, laps, cancel_samples = 800, 0.025, 4, 2, 5
     jobs_per_submitter = laps * len(WORKLOADS)
 
     graph = erdos_renyi(n, p, seed=42)
@@ -194,7 +371,28 @@ def main(argv=None) -> int:
           f"p99={warm['latency_p99_s']}s, all_cached={warm['all_cached']}, "
           f"repeat mining rounds={warm['mining_rounds_total']}", flush=True)
 
+    oracle_tc = oracles[("tc", json.dumps({}, sort_keys=True))]
+    oracle_mcf = oracles[("mcf", json.dumps({}, sort_keys=True))]
+
+    # Phase 3 — running-job cancellation on runtime='process'.
+    cancel, cancel_failures = bench_cancellation(cancel_samples)
+    print(f"cancel: {cancel['samples']} samples, "
+          f"p99={cancel['cancel_latency_p99_s']}s, "
+          f"proven={cancel['cancel_proven']}", flush=True)
+
+    # Phase 4 — in-flight dedup (cache off: attachment, not memoization).
+    dedup, dedup_failures = bench_dedup(graph, oracle_mcf)
+    print(f"dedup: executed={dedup['executed']} deduped={dedup['deduped']} "
+          f"proven={dedup['dedup_proven']}", flush=True)
+
+    # Phase 5 — the persistent cache across a service restart.
+    restart, restart_failures = bench_restart_cache(graph, oracle_tc)
+    print(f"restart: cached={restart['cached']} "
+          f"rounds={restart['mining_rounds']} "
+          f"proven={restart['restart_cache_proven']}", flush=True)
+
     failures = cold_failures + prime_failures + warm_failures
+    gate_failures = cancel_failures + dedup_failures + restart_failures
     answers_equal = not (cold_bad or warm_bad)
     cache_proven = (warm["all_cached"]
                     and warm["mining_rounds_total"] == 0
@@ -210,10 +408,18 @@ def main(argv=None) -> int:
         "workloads": [{"app": a, "params": prm} for a, prm, _ in WORKLOADS],
         "cold": cold,
         "warm": warm,
+        "cancellation": cancel,
+        "dedup": dedup,
+        "restart_cache": restart,
         "server_stats_warm": warm_stats,
         "answers_equal": answers_equal,
         "cache_hit_proven": cache_proven,
+        "cancel_proven": cancel["cancel_proven"],
+        "cancel_latency_p99": cancel["cancel_latency_p99_s"],
+        "dedup_proven": dedup["dedup_proven"],
+        "restart_cache_proven": restart["restart_cache_proven"],
         "submitter_failures": failures,
+        "gate_failures": gate_failures,
     }
     with open(args.output, "w", encoding="ascii") as f:
         json.dump(report, f, indent=2, sort_keys=True)
@@ -236,6 +442,10 @@ def main(argv=None) -> int:
         ok = False
     if not cold["all_mined"]:
         print("FAIL: cold service served from a cache that should be off")
+        ok = False
+    if gate_failures:
+        for line in gate_failures:
+            print(f"FAIL: {line}")
         ok = False
     return 0 if ok else 1
 

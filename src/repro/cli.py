@@ -183,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "unlisted tenants weigh 1)")
     serve.add_argument("--cache-size", type=int, default=128,
                        help="result-cache entries (default 128; 0 disables)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist finished results under this directory "
+                            "so a restarted server serves warm repeats "
+                            "with zero mining rounds")
 
     submit = sub.add_parser(
         "submit",
@@ -206,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-wait", action="store_true",
                         help="print the job id and return without waiting")
     submit.add_argument("--output", help="write result records to this file")
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a queued or running job on a 'repro serve' server",
+    )
+    cancel.add_argument("--server", required=True,
+                        help="host:port printed by 'repro serve'")
+    cancel.add_argument("job_id", help="job id printed by 'repro submit'")
 
     jobs = sub.add_parser(
         "jobs",
@@ -330,6 +342,7 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.max_queue_depth,
         tenant_weights=weights or None,
         result_cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
     )
     service.start()
     host, port = service.address
@@ -407,6 +420,27 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_cancel(args) -> int:
+    from .core.errors import ServiceError
+    from .service import ServiceClient
+
+    with ServiceClient(args.server) as client:
+        try:
+            cancelled, record = client.cancel(args.job_id)
+        except ServiceError as exc:
+            print(f"cancel failed: {exc}", file=sys.stderr)
+            return 1
+        if cancelled:
+            # A queued job is already settled; a running one aborts at
+            # its next sync boundary and the record catches up then.
+            print(f"{record['job_id']}  cancel accepted  "
+                  f"status={record['status']}")
+            return 0
+        print(f"{record['job_id']}  not cancellable  "
+              f"status={record['status']}", file=sys.stderr)
+        return 1
+
+
 def _cmd_jobs(args) -> int:
     from .service import ServiceClient
 
@@ -477,6 +511,9 @@ def main(argv=None) -> int:
 
     if args.command == "submit":
         return _cmd_submit(args)
+
+    if args.command == "cancel":
+        return _cmd_cancel(args)
 
     if args.command == "jobs":
         return _cmd_jobs(args)

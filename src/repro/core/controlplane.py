@@ -344,6 +344,11 @@ class ControlPlaneMaster:
         self.abort_after_rounds = abort_after_rounds
         self.metrics = MetricsRegistry()
         self.global_aggregator = GlobalAggregator(app_factory().make_aggregator())
+        #: Cooperative-cancellation token (``AbortToken`` or None), set
+        #: by the executor before :meth:`run`.  Checked once per sweep —
+        #: the sweep cadence is bounded by ``aggregator_sync_period_s``,
+        #: so a cancel lands within roughly one sync period.
+        self.abort = None
         self._incarnation = 0
         self._epoch = 0
         self._last_checkpoint: Optional[JobCheckpoint] = None
@@ -493,6 +498,11 @@ class ControlPlaneMaster:
         sweeps = 0
         sweep_wait = self.config.idle_sleep_s
         while True:
+            if self.abort is not None:
+                # The unwind reaches the executor's ``finally``, which
+                # tears the node set down — quota is back within one
+                # sweep of the cancel request.
+                self.abort.raise_if_set()
             statuses = self._sweep()
             sweeps += 1
             self._plan_steals(statuses)

@@ -93,7 +93,14 @@ class JobRejectedError(ServiceError):
 
 
 class JobCancelledError(ServiceError):
-    """``result()`` was called on a job that was cancelled before running."""
+    """The job was cancelled — while queued or mid-run.
+
+    Raised by ``result()`` on a cancelled handle, and *inside* a running
+    job by the control plane when its abort token is observed set at a
+    sync boundary (see :class:`~repro.core.runtime.AbortToken`); the
+    session layer translates that unwind into the ``cancelled`` terminal
+    state rather than ``failed``.
+    """
 
 
 class TaskError(GThinkerError):

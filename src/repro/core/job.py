@@ -240,6 +240,7 @@ class ClusterRuntimeExecutor:
                 "runtime='process' or runtime='cluster'"
             )
         cluster = build_cluster(request.app_factory, request.graph, config)
+        cluster.master.abort = request.abort
         if request.checkpoint is not None:
             _seed_from_checkpoint(cluster, request.checkpoint)
         if request.checkpoint_path and config.checkpoint_every_syncs > 0:
@@ -299,20 +300,22 @@ register_runtime(
     SerialExecutor,
     RuntimeCapabilities(
         checkpointing=True, failure_injection=True,
-        protocol_checking=True, resume=True,
+        protocol_checking=True, resume=True, cancellation=True,
     ),
     replace=True,
 )
 register_runtime(
     "threaded",
     ThreadedExecutor,
-    RuntimeCapabilities(protocol_checking=True, resume=True),
+    RuntimeCapabilities(protocol_checking=True, resume=True,
+                        cancellation=True),
     replace=True,
 )
 register_runtime(
     "checked",
     CheckedExecutor,
-    RuntimeCapabilities(protocol_checking=True, resume=True),
+    RuntimeCapabilities(protocol_checking=True, resume=True,
+                        cancellation=True),
     replace=True,
 )
 register_runtime(
@@ -320,7 +323,7 @@ register_runtime(
     _process_executor,
     RuntimeCapabilities(
         checkpointing=True, failure_injection=True,
-        protocol_checking=True, resume=True,
+        protocol_checking=True, resume=True, cancellation=True,
     ),
     replace=True,
 )
@@ -331,7 +334,10 @@ register_runtime(
     # global-rollback recovery, and shard resume all work (recovery by
     # respawn only in localhost spawn mode — attach mode raises with
     # resume guidance).  Protocol checking runs node-local like the
-    # process runtime's.
+    # process runtime's.  Running-job cancellation is declined: a
+    # cancelled multi-host job would strand remote attach-mode nodes
+    # mid-epoch, so ``LocalJobHandle.cancel()`` on a running cluster
+    # job returns False instead of half-killing the fleet.
     RuntimeCapabilities(
         checkpointing=True, failure_injection=True,
         protocol_checking=True, resume=True,
@@ -348,6 +354,7 @@ def _dispatch(
     checkpoint_path: Optional[str] = None,
     abort_after_rounds: Optional[int] = None,
     checkpoint: Optional[JobCheckpoint] = None,
+    abort=None,
 ) -> JobResult:
     """The single dispatch path shared by run_job and resume_job."""
     spec = get_runtime(runtime)
@@ -367,6 +374,7 @@ def _dispatch(
         checkpoint_path=checkpoint_path,
         abort_after_rounds=abort_after_rounds,
         checkpoint=checkpoint,
+        abort=abort,
     ))
 
 

@@ -37,16 +37,26 @@ class Master:
         self._prev_progress = -1
         self._sync_count = 0
         self.checkpoint_hook = None  # set by the job when checkpointing is on
+        #: Cooperative-cancellation token (``AbortToken`` or None), set
+        #: by the executor before driving.  Checked at the top of every
+        #: sync — the barrier every in-process runtime already hits — so
+        #: a cancel lands within one sync round on serial, threaded,
+        #: checked and simulated runtimes alike.
+        self.abort = None
 
     # -- one synchronization round ----------------------------------------
 
     def sync(self, now: float = 0.0) -> bool:
         """Aggregate, plan steals, refresh gauges, detect termination.
 
-        Returns True when the job has completed.
+        Returns True when the job has completed.  Raises
+        :class:`~repro.core.errors.JobCancelledError` when the job's
+        abort token was set since the last sync.
         """
         if self.done:
             return True
+        if self.abort is not None:
+            self.abort.raise_if_set()
         self._sync_count += 1
         self.global_aggregator.sync([w.aggregator for w in self.workers])
         for w in self.workers:

@@ -519,6 +519,10 @@ class ProcessExecutor:
             checkpoint_path=request.checkpoint_path,
             abort_after_rounds=request.abort_after_rounds,
         )
+        # Cooperative cancel: the sweep loop raises JobCancelledError,
+        # which unwinds through the ``finally`` below — shutdown()
+        # terminates every worker process, so quota is really free.
+        master.abort = request.abort
         try:
             master.start(checkpoint=ckpt)
             finals = master.run()

@@ -53,6 +53,7 @@ from .config import GThinkerConfig
 from .errors import (
     GThinkerError,
     JobAbortedError,
+    JobCancelledError,
     UnknownRuntimeError,
     UnsupportedRuntimeFeature,
 )
@@ -61,6 +62,7 @@ from .metrics import MetricsRegistry
 from .worker import Worker
 
 __all__ = [
+    "AbortToken",
     "Cluster",
     "SerialRuntime",
     "ThreadedRuntime",
@@ -90,6 +92,36 @@ class Cluster:
     owns_spill_root: bool = False
 
 
+class AbortToken:
+    """Cooperative cancellation signal for one running job.
+
+    The session sets it from :meth:`LocalJobHandle.cancel`; the control
+    plane polls it at sync-barrier/steal-sweep boundaries (the same
+    cadence the master already owns) and unwinds the job with
+    :class:`~repro.core.errors.JobCancelledError`.  Cancellation is
+    therefore *cooperative*: a job stops within one sync round, never
+    mid-iteration, so worker teardown always runs from a consistent
+    scheduler state.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_set(self) -> None:
+        """Unwind with :class:`JobCancelledError` if cancellation was requested."""
+        if self._event.is_set():
+            raise JobCancelledError("job cancelled at a sync boundary")
+
+
 # ---------------------------------------------------------------------------
 # Runtime registry
 # ---------------------------------------------------------------------------
@@ -107,6 +139,8 @@ class RuntimeCapabilities:
     failure_injection: bool = False
     protocol_checking: bool = True
     resume: bool = False
+    #: Running jobs honor an :class:`AbortToken` at sync boundaries.
+    cancellation: bool = False
 
     def feature_names(self) -> Tuple[str, ...]:
         return tuple(f.name for f in fields(self))
@@ -124,6 +158,9 @@ class JobRequest:
     #: A loaded :class:`~repro.core.checkpoint.JobCheckpoint` when
     #: resuming, else None.
     checkpoint: Any = None
+    #: Cooperative-cancellation token (an :class:`AbortToken`), or None
+    #: when the caller never cancels / the runtime declines cancellation.
+    abort: Any = None
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,7 @@ from typing import Any, Callable, List, Optional, Set
 
 from .config import GThinkerConfig
 from .errors import JobCancelledError
-from .runtime import get_runtime
+from .runtime import AbortToken, get_runtime
 
 __all__ = [
     "JOB_QUEUED",
@@ -96,8 +96,18 @@ class JobHandle:
         raise NotImplementedError
 
     def cancel(self) -> bool:
-        """Try to cancel; True iff the job was still queued and is now
-        cancelled.  A running or finished job is not cancellable."""
+        """Try to cancel; True iff the request was accepted.
+
+        A queued job cancels immediately.  A *running* job cancels
+        cooperatively when its runtime declares the ``cancellation``
+        capability (built-ins: serial, threaded, checked, process): the
+        job's abort token is set, the control plane observes it at the
+        next sync boundary, and the handle reaches the ``cancelled``
+        terminal state shortly after — ``cancel()`` returning True means
+        the cancel was *accepted*, not that the job already stopped.
+        Runtimes without the capability (``cluster``) and finished jobs
+        return False.
+        """
         raise NotImplementedError
 
 
@@ -112,6 +122,9 @@ class LocalJobHandle(JobHandle):
         self._result = None
         self._error: Optional[BaseException] = None
         self._callbacks: List[Callable[["LocalJobHandle"], None]] = []
+        #: The job's cooperative-cancellation token; None when the
+        #: runtime declined the ``cancellation`` capability.
+        self._abort: Optional[AbortToken] = None
 
     # -- protocol ----------------------------------------------------
 
@@ -298,6 +311,10 @@ class Session:
 
         graph = self.graph
         ckpt = checkpoint
+        # Runtimes with the ``cancellation`` capability get an abort
+        # token threaded down to their control plane; others run exactly
+        # as before and cancel() on a running handle returns False.
+        abort = AbortToken() if spec.capabilities.cancellation else None
 
         def thunk():
             return _dispatch(
@@ -305,12 +322,14 @@ class Session:
                 checkpoint_path=checkpoint_path,
                 abort_after_rounds=abort_after_rounds,
                 checkpoint=ckpt,
+                abort=abort,
             )
 
         with self._lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed Session")
             handle = LocalJobHandle(self, f"job-{next(self._seq)}")
+            handle._abort = abort
             job = _PendingJob(handle, thunk)
             if self._max_concurrent is None or self._running < self._max_concurrent:
                 self._start_locked(job)
@@ -335,6 +354,10 @@ class Session:
         while job is not None:
             try:
                 result = job.thunk()
+            except JobCancelledError:
+                # The control plane observed the abort token and unwound
+                # cleanly — a cancelled job, not a failed one.
+                job.handle._finish(JOB_CANCELLED)
             except BaseException as exc:
                 job.handle._finish(JOB_FAILED, error=exc)
             else:
@@ -353,6 +376,13 @@ class Session:
 
     def _cancel(self, handle: LocalJobHandle) -> bool:
         with self._lock:
+            if handle._state == JOB_RUNNING and handle._abort is not None:
+                # Cooperative running-job cancel: set the token and
+                # return — the control plane unwinds at its next sync
+                # boundary and the runner thread settles the handle in
+                # the cancelled terminal state.  True means accepted.
+                handle._abort.set()
+                return True
             if handle._state != JOB_QUEUED:
                 return False
             handle._state = JOB_CANCELLED

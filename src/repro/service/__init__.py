@@ -11,6 +11,7 @@ the same protocol as :class:`repro.core.session.LocalJobHandle`.
 CLI front ends: ``repro serve``, ``repro submit``, ``repro jobs``.
 """
 
+from .cache import ResultCache
 from .client import RemoteJobHandle, ServiceClient
 from .jobs import (
     JobSpec,
@@ -26,6 +27,7 @@ __all__ = [
     "GraphService",
     "JobSpec",
     "RemoteJobHandle",
+    "ResultCache",
     "ServiceClient",
     "available_apps",
     "build_app_factory",

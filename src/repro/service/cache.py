@@ -1,0 +1,162 @@
+"""The service result cache: in-memory LRU over an optional disk store.
+
+:class:`ResultCache` memoizes finished :class:`~repro.core.job.JobResult`
+objects under the :func:`~repro.service.jobs.cache_key` identity
+``(graph_digest, app, canonical params)``.  Two layers:
+
+* a capacity-bounded **memory LRU** — the hot path, same semantics the
+  service's original ``OrderedDict`` cache had;
+* an optional **disk store** (``cache_dir``) — one pickle file per key,
+  written atomically (tmp + ``os.replace``), so a *restarted* service
+  answers warm repeats with zero mining rounds.  Files are validated on
+  read: a payload whose recorded graph digest (or key) disagrees with
+  the running service — a different graph re-using an old cache dir, a
+  truncated write, a corrupt pickle — is deleted and treated as a miss,
+  never served.
+
+Disk entries survive memory eviction (the LRU bounds RAM, not the
+store) and disk I/O failures are non-fatal: a read error is a miss, a
+write error keeps the memory entry and moves on.  ``capacity == 0``
+disables the cache entirely, disk included — the contract
+``result_cache_size=0`` has always had.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultCache"]
+
+#: Bump when the on-disk payload layout changes; mismatched files are
+#: discarded as stale rather than mis-read.
+_DISK_FORMAT = 1
+
+
+class ResultCache:
+    """LRU result cache with an optional persistent pickle-per-key store.
+
+    Not thread-safe by itself; the service calls it under its scheduler
+    lock.
+    """
+
+    def __init__(self, capacity: int, digest: str,
+                 cache_dir: Optional[str] = None) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self.digest = digest
+        self._mem: "OrderedDict[str, Any]" = OrderedDict()
+        self._dir: Optional[Path] = None
+        if cache_dir is not None and capacity > 0:
+            self._dir = Path(cache_dir)
+            self._dir.mkdir(parents=True, exist_ok=True)
+
+    # -- the service-facing surface ------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None.
+
+        Memory first; on a miss, the disk store (when configured) is
+        consulted and a valid file promotes its result into the LRU.
+        """
+        if self.capacity == 0:
+            return None
+        hit = self._mem.get(key)
+        if hit is not None:
+            self._mem.move_to_end(key)
+            return hit
+        result = self._disk_get(key)
+        if result is not None:
+            self._insert_mem(key, result)
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._insert_mem(key, result)
+        self._disk_put(key, result)
+
+    def __len__(self) -> int:
+        """Memory-resident entries (the LRU occupancy)."""
+        return len(self._mem)
+
+    def disk_entries(self) -> int:
+        """Entries in the persistent store (0 when persistence is off)."""
+        if self._dir is None:
+            return 0
+        try:
+            return sum(1 for _ in self._dir.glob("*.pkl"))
+        except OSError:
+            return 0
+
+    # -- memory layer --------------------------------------------------
+
+    def _insert_mem(self, key: str, result: Any) -> None:
+        self._mem[key] = result
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+
+    # -- disk layer ----------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        # Keys are sha256 hex digests — already safe path components.
+        return self._dir / f"{key}.pkl"
+
+    def _disk_get(self, key: str) -> Optional[Any]:
+        if self._dir is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated/corrupt file: never serve it, never trip on it.
+            self._discard(path)
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("format") != _DISK_FORMAT
+                or payload.get("digest") != self.digest
+                or payload.get("key") != key):
+            # Digest validation: a cache dir re-used for a different
+            # graph must miss (and self-clean), not serve stale answers.
+            self._discard(path)
+            return None
+        return payload.get("result")
+
+    def _disk_put(self, key: str, result: Any) -> None:
+        if self._dir is None:
+            return
+        payload = {
+            "format": _DISK_FORMAT,
+            "digest": self.digest,
+            "key": key,
+            "result": result,
+        }
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(self._dir), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+                # Atomic publish: a reader sees the old file or the new
+                # one, never a half-written pickle.
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                self._discard(Path(tmp))
+                raise
+        except Exception:
+            pass  # persistence is best-effort; the memory entry stands
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

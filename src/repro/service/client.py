@@ -28,6 +28,9 @@ from ..net.tcp import ChannelClosed, ControlChannel, connect_with_retry
 __all__ = ["RemoteJobHandle", "ServiceClient"]
 
 #: How server error kinds map back onto client-side exception types.
+#: Unlisted kinds (including ``internal``, the server's "a handler bug
+#: cost this one request, the connection survived" reply) fall back to
+#: plain :class:`ServiceError`.
 _ERROR_KINDS = {
     "rejected": JobRejectedError,
     "cancelled": JobCancelledError,
@@ -75,6 +78,14 @@ class RemoteJobHandle(JobHandle):
         return result
 
     def cancel(self) -> bool:
+        """Ask the server to cancel this job.
+
+        True means the cancel was *accepted*: a queued job is already
+        ``cancelled`` in the returned record; a running one aborts at
+        its next sync boundary and settles asynchronously.  False means
+        the job already finished, or it is running on a runtime that
+        declines mid-run cancellation (``cluster``).
+        """
         cancelled, record = self._client.cancel(self.job_id)
         self._record = record
         return cancelled

@@ -24,8 +24,23 @@ property):
   current virtual time (never in the past), so a backlogged tenant
   cannot starve a light one and an idle tenant cannot hoard credit.
 * **Result cache** — finished answers are memoized under
-  ``(graph_digest, app, canonical params)``; a repeated submission
-  completes at admission time with zero mining rounds.
+  ``(graph_digest, app, canonical params)`` by a
+  :class:`~repro.service.cache.ResultCache`; a repeated submission
+  completes at admission time with zero mining rounds.  With a
+  ``cache_dir`` the cache persists across service restarts.
+* **In-flight dedup** — a submission whose cache key matches a job
+  that is already queued or running *attaches* to that execution
+  instead of mining twice.  The scheduler's unit is therefore the
+  :class:`_Execution` (one factory, one quota, one Session handle);
+  each :class:`_JobRecord` is a per-tenant *subscriber* with its own
+  id, status, and ``done_seq``.  Cancelling one subscriber never kills
+  an execution that other live subscribers still want.
+* **Cancellation** — a queued job cancels immediately; a *running*
+  job is cancelled cooperatively through the runtime's
+  :class:`~repro.core.runtime.AbortToken` (honored at sync-barrier /
+  steal-sweep boundaries), releasing its worker quota within one
+  scheduler pass.  Runtimes that decline running-job cancellation
+  (``cluster``) simply return False for running jobs.
 
 The wire is the ``net/`` control-plane plumbing: one
 :class:`~repro.net.tcp.ControlChannel` (length-prefixed pickled frames,
@@ -44,7 +59,7 @@ import selectors
 import socket
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.config import GThinkerConfig, parse_host_port
@@ -65,6 +80,7 @@ from ..core.session import (
 )
 from ..graph.digest import graph_digest
 from ..net.tcp import ChannelClosed, ControlChannel, listen_socket
+from .cache import ResultCache
 from .jobs import JobSpec, available_apps, build_app_factory, cache_key
 
 __all__ = ["GraphService"]
@@ -73,25 +89,57 @@ __all__ = ["GraphService"]
 _OPS = ("hello", "submit", "status", "result", "cancel", "jobs", "stats",
         "shutdown")
 
+#: Record states with nothing left to settle.
+_TERMINAL = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+#: Record states a cancel can still act on.
+_LIVE = (JOB_QUEUED, JOB_RUNNING)
+
+
+class _Execution:
+    """One actual mining run: the unit the scheduler queues and funds.
+
+    Holds the app factory, the worker quota it charges, and — once
+    dispatched — the Session handle.  ``records`` is every subscriber
+    (the original submission plus any deduplicated attachments); the
+    execution is killed only when its *last* live subscriber cancels.
+    """
+
+    __slots__ = ("key", "factory", "quota", "tenant", "records", "handle",
+                 "status", "abort_requested")
+
+    def __init__(self, key: str, factory, quota: int, tenant: str,
+                 record: "_JobRecord") -> None:
+        self.key = key
+        self.factory = factory
+        self.quota = quota
+        self.tenant = tenant
+        self.records: List[_JobRecord] = [record]
+        self.handle = None
+        self.status = JOB_QUEUED
+        self.abort_requested = False
+
+    def live_records(self, but: "_JobRecord" = None) -> List["_JobRecord"]:
+        return [r for r in self.records if r is not but and r.status in _LIVE]
+
 
 class _JobRecord:
-    """Server-side state of one submitted job."""
+    """Server-side state of one submitted job (one execution subscriber)."""
 
     __slots__ = (
-        "job_id", "spec", "quota", "key", "status", "cached",
+        "job_id", "spec", "quota", "key", "status", "cached", "deduped",
         "submitted_at", "started_at", "finished_at", "done_seq",
-        "error", "result", "event", "factory",
+        "error", "result", "event", "execution",
     )
 
-    def __init__(self, job_id: str, spec: JobSpec, quota: int, key: str,
-                 factory) -> None:
+    def __init__(self, job_id: str, spec: JobSpec, quota: int,
+                 key: str) -> None:
         self.job_id = job_id
         self.spec = spec
         self.quota = quota
         self.key = key
-        self.factory = factory
         self.status = JOB_QUEUED
         self.cached = False
+        self.deduped = False
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -99,6 +147,7 @@ class _JobRecord:
         self.error: Optional[str] = None
         self.result = None
         self.event = threading.Event()
+        self.execution: Optional[_Execution] = None
 
     def to_wire(self) -> Dict[str, Any]:
         """The public, picklable view (no handles, no factories)."""
@@ -110,6 +159,7 @@ class _JobRecord:
             "quota": self.quota,
             "status": self.status,
             "cached": self.cached,
+            "deduped": self.deduped,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -158,6 +208,11 @@ class GraphService:
         weigh ``1.0``.
     result_cache_size:
         LRU capacity of the ``(graph, app, params)`` result cache.
+        0 disables caching (including ``cache_dir`` persistence).
+    cache_dir:
+        Optional directory for the persistent result store; finished
+        answers written here survive a service restart (files carry
+        the graph digest and are invalidated on mismatch).
     """
 
     def __init__(
@@ -171,8 +226,9 @@ class GraphService:
         max_queue_depth: int = 64,
         tenant_weights: Optional[Dict[str, float]] = None,
         result_cache_size: int = 128,
+        cache_dir: Optional[str] = None,
     ) -> None:
-        get_runtime(runtime)
+        spec = get_runtime(runtime)
         self._base_config = config or GThinkerConfig()
         if max_workers_per_job is None:
             max_workers_per_job = self._base_config.num_workers
@@ -201,7 +257,7 @@ class GraphService:
         self._max_workers_per_job = max_workers_per_job
         self._max_queue_depth = max_queue_depth
         self._weights = dict(tenant_weights or {})
-        self._cache_size = result_cache_size
+        self._cancellable = spec.capabilities.cancellation
 
         # The execution substrate: one Session, graph resident, no
         # second queue below the admission scheduler.
@@ -209,20 +265,24 @@ class GraphService:
                                 runtime=runtime, max_concurrent=None)
 
         self._lock = threading.RLock()
+        self._closed = False
         self._records: Dict[str, _JobRecord] = {}
-        self._queues: Dict[str, deque] = {}
+        self._queues: Dict[str, deque] = {}  # tenant -> deque[_Execution]
         self._queued_count = 0
         self._tenant_pass: Dict[str, float] = {}
         self._vtime = 0.0
         self._available = worker_budget
         self._seq = itertools.count(1)
         self._done_seq = itertools.count(1)
-        self._cache: "OrderedDict[str, Any]" = OrderedDict()
+        self._inflight: Dict[str, _Execution] = {}
+        self._cache = ResultCache(result_cache_size, self.digest,
+                                  cache_dir=cache_dir)
         self._stats: Dict[str, int] = {
             "submitted": 0,
             "admitted": 0,
             "rejected": 0,
             "cache_hits": 0,
+            "deduped": 0,
             "executed": 0,
             "completed": 0,
             "failed": 0,
@@ -232,6 +292,7 @@ class GraphService:
         self._listener: Optional[socket.socket] = None
         self._address: Optional[Tuple[str, int]] = None
         self._accept_thread: Optional[threading.Thread] = None
+        self._conn_lock = threading.Lock()
         self._conn_threads: List[threading.Thread] = []
         self._channels: List[ControlChannel] = []
         self._shutdown = threading.Event()
@@ -248,9 +309,13 @@ class GraphService:
         """Admit one job; returns its wire record immediately.
 
         Raises :class:`JobRejectedError` when the app/params are
-        invalid or the admission queue is full.  A result-cache hit
-        returns an already-``done`` record (``cached: True``) without
-        touching a worker.
+        invalid or the admission queue is full, and
+        :class:`ServiceError` after :meth:`close` (checked *before*
+        any scheduler state changes, so a late submission can never
+        wedge the budget).  A result-cache hit returns an already-
+        ``done`` record (``cached: True``) without touching a worker;
+        a key already queued or running attaches to that execution
+        (``deduped: True``) instead of mining twice.
         """
         try:
             factory = build_app_factory(spec.app, spec.params)
@@ -266,11 +331,12 @@ class GraphService:
         key = cache_key(self.digest, spec.app, spec.params)
         quota = min(requested, self._max_workers_per_job)
         with self._lock:
+            if self._closed:
+                raise ServiceError("service is shut down")
             self._stats["submitted"] += 1
-            record = _JobRecord(f"job-{next(self._seq)}", spec, quota, key,
-                                factory)
+            record = _JobRecord(f"job-{next(self._seq)}", spec, quota, key)
             self._records[record.job_id] = record
-            cached = self._cache_get(key)
+            cached = self._cache.get(key)
             if cached is not None:
                 self._stats["cache_hits"] += 1
                 record.cached = True
@@ -280,6 +346,22 @@ class GraphService:
                 record.done_seq = next(self._done_seq)
                 record.event.set()
                 return record.to_wire()
+            running = self._inflight.get(key)
+            if running is not None and not running.abort_requested:
+                # In-flight dedup: subscribe to the execution already
+                # queued/running for this exact (graph, app, params).
+                # The subscriber gets its own record (id, status,
+                # done_seq) but charges no additional quota.
+                record.deduped = True
+                record.execution = running
+                record.quota = running.quota
+                running.records.append(record)
+                record.status = running.status
+                if running.status == JOB_RUNNING:
+                    record.started_at = time.time()
+                self._stats["deduped"] += 1
+                self._stats["admitted"] += 1
+                return record.to_wire()
             if self._queued_count >= self._max_queue_depth:
                 self._stats["rejected"] += 1
                 del self._records[record.job_id]
@@ -288,6 +370,9 @@ class GraphService:
                     f"jobs queued); retry later or raise max_queue_depth"
                 )
             self._stats["admitted"] += 1
+            execution = _Execution(key, factory, quota, spec.tenant, record)
+            record.execution = execution
+            self._inflight[key] = execution
             tenant = spec.tenant
             q = self._queues.get(tenant)
             if q is None:
@@ -299,13 +384,14 @@ class GraphService:
                 self._tenant_pass[tenant] = max(
                     self._tenant_pass.get(tenant, 0.0), self._vtime
                 )
-            q.append(record)
+            q.append(execution)
             self._queued_count += 1
             self._dispatch_locked()
             return record.to_wire()
 
     def _dispatch_locked(self) -> None:
-        """Start queued jobs while worker budget allows (lock held)."""
+        """Start queued executions while worker budget allows (lock held)."""
+        self._prune_tenants_locked()
         while self._queued_count:
             active = [(p, t) for t, p in self._tenant_pass.items()
                       if self._queues.get(t)]
@@ -313,63 +399,123 @@ class GraphService:
                 return
             _pass, tenant = min(active)
             q = self._queues[tenant]
-            record = q[0]
-            if record.status == JOB_CANCELLED:
+            execution = q[0]
+            if execution.status == JOB_CANCELLED:
                 # cancel() already took it out of the queued count; here
                 # we just garbage-collect the deque entry.
                 q.popleft()
                 continue
-            if record.quota > self._available:
+            if execution.quota > self._available:
                 return  # strict FIFO-within-fairness: no bypass
             q.popleft()
             self._queued_count -= 1
-            self._available -= record.quota
+            self._available -= execution.quota
             self._vtime = self._tenant_pass[tenant]
-            self._tenant_pass[tenant] += record.quota / self._weight(tenant)
-            record.status = JOB_RUNNING
-            record.started_at = time.time()
-            self._stats["executed"] += 1
+            self._tenant_pass[tenant] += execution.quota / self._weight(tenant)
+            now = time.time()
+            execution.status = JOB_RUNNING
+            for record in execution.records:
+                if record.status == JOB_QUEUED:
+                    record.status = JOB_RUNNING
+                    record.started_at = now
             job_config = self._base_config.with_updates(
-                num_workers=record.quota)
-            handle = self._session.submit(record.factory, config=job_config)
-            handle.add_done_callback(
-                functools.partial(self._on_job_done, record))
-
-    def _on_job_done(self, record: _JobRecord, handle) -> None:
-        """Session runner callback: settle the record, refill the budget."""
-        with self._lock:
-            record.finished_at = time.time()
-            record.done_seq = next(self._done_seq)
+                num_workers=execution.quota)
+            # All scheduler state is settled before the Session call, so
+            # a submit failure (e.g. the session raced shut) can restore
+            # the budget and fail the subscribers without leaving the
+            # record stuck RUNNING or the quota leaked.
             try:
-                record.result = handle.result(timeout=0)
-                record.status = JOB_DONE
-                self._stats["completed"] += 1
-                self._cache_put(record.key, record.result)
+                handle = self._session.submit(execution.factory,
+                                              config=job_config)
             except BaseException as exc:
-                record.status = JOB_FAILED
-                record.error = f"{type(exc).__name__}: {exc}"
-                self._stats["failed"] += 1
-            self._available += record.quota
-            self._dispatch_locked()
-        record.event.set()
+                self._available += execution.quota
+                self._inflight.pop(execution.key, None)
+                self._fail_execution_locked(
+                    execution, f"dispatch failed: "
+                               f"{type(exc).__name__}: {exc}")
+                continue
+            self._stats["executed"] += 1
+            execution.handle = handle
+            handle.add_done_callback(
+                functools.partial(self._on_job_done, execution))
 
-    # -- result cache ---------------------------------------------------
+    def _fail_execution_locked(self, execution: _Execution,
+                               error: str) -> None:
+        """Settle every live subscriber of a never-ran execution as failed."""
+        now = time.time()
+        execution.status = JOB_FAILED
+        for record in execution.records:
+            if record.status in _TERMINAL:
+                continue
+            record.status = JOB_FAILED
+            record.error = error
+            record.finished_at = now
+            record.done_seq = next(self._done_seq)
+            self._stats["failed"] += 1
+            record.event.set()
 
-    def _cache_get(self, key: str):
-        if self._cache_size == 0:
-            return None
-        hit = self._cache.get(key)
-        if hit is not None:
-            self._cache.move_to_end(key)
-        return hit
+    def _prune_tenants_locked(self) -> None:
+        """Drop drained tenants so the maps stay bounded (lock held).
 
-    def _cache_put(self, key: str, result) -> None:
-        if self._cache_size == 0:
+        While anything is queued, a tenant with an empty queue loses its
+        deque; its pass entry is kept only while it is *ahead* of
+        virtual time (that credit is what stops an idle tenant
+        front-running on reactivation) and is dropped once ``_vtime``
+        catches up.  When the queue is empty everywhere, credit has no
+        competitor to be held against, so the whole scheduler state
+        resets — this is what keeps the maps bounded under one-tenant-
+        at-a-time traffic, where virtual time never advances.
+        """
+        if self._queued_count == 0:
+            self._queues.clear()
+            self._tenant_pass.clear()
+            self._vtime = 0.0
             return
-        self._cache[key] = result
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        for tenant in [t for t, q in self._queues.items() if not q]:
+            del self._queues[tenant]
+        for tenant in [t for t, p in self._tenant_pass.items()
+                       if p <= self._vtime and not self._queues.get(t)]:
+            del self._tenant_pass[tenant]
+
+    def _on_job_done(self, execution: _Execution, handle) -> None:
+        """Session runner callback: settle subscribers, refill the budget."""
+        events = []
+        with self._lock:
+            if self._inflight.get(execution.key) is execution:
+                del self._inflight[execution.key]
+            now = time.time()
+            result = None
+            error = None
+            try:
+                result = handle.result(timeout=0)
+                status = JOB_DONE
+            except JobCancelledError:
+                status = JOB_CANCELLED
+            except BaseException as exc:
+                status = JOB_FAILED
+                error = f"{type(exc).__name__}: {exc}"
+            execution.status = status
+            if status == JOB_DONE:
+                self._cache.put(execution.key, result)
+            for record in execution.records:
+                if record.status in _TERMINAL:
+                    continue  # e.g. a subscriber cancelled individually
+                record.finished_at = now
+                record.done_seq = next(self._done_seq)
+                record.status = status
+                if status == JOB_DONE:
+                    record.result = result
+                    self._stats["completed"] += 1
+                elif status == JOB_CANCELLED:
+                    self._stats["cancelled"] += 1
+                else:
+                    record.error = error
+                    self._stats["failed"] += 1
+                events.append(record.event)
+            self._available += execution.quota
+            self._dispatch_locked()
+        for event in events:
+            event.set()
 
     # ------------------------------------------------------------------
     # Job inspection / control (shared by in-process and wire callers)
@@ -390,27 +536,70 @@ class GraphService:
             return [r.to_wire() for r in self._records.values()]
 
     def stats(self) -> Dict[str, Any]:
+        with self._conn_lock:
+            open_connections = sum(
+                1 for t in self._conn_threads if t.is_alive())
         with self._lock:
             return {
                 **self._stats,
                 "queued": self._queued_count,
+                "inflight": len(self._inflight),
                 "workers_available": self._available,
                 "worker_budget": self._budget_total,
                 "cache_entries": len(self._cache),
+                "cache_disk_entries": self._cache.disk_entries(),
+                "tracked_tenants": len(self._tenant_pass),
+                "open_connections": open_connections,
             }
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a still-queued job; running/finished jobs return False."""
+        """Cancel a job; returns True when the cancel was accepted.
+
+        A queued job cancels immediately.  A *running* job is cancelled
+        cooperatively: the underlying execution's abort token is set
+        and honored at the next sync boundary, so the record reaches
+        ``cancelled`` (and the quota is re-admitted) within one
+        scheduler pass rather than instantly.  On a deduplicated key
+        only the named subscriber is settled; the shared execution is
+        killed only when its last live subscriber cancels.  Returns
+        False for finished jobs, and for running jobs when the
+        service runtime declines running-job cancellation
+        (``cluster``) and no other subscriber keeps the execution
+        alive to spare.
+        """
+        kill_handle = None
         with self._lock:
             record = self._record(job_id)
-            if record.status != JOB_QUEUED:
+            if record.status not in _LIVE:
+                return False
+            execution = record.execution
+            others_live = bool(execution.live_records(but=record))
+            if (record.status == JOB_RUNNING and not others_live
+                    and not self._cancellable):
+                # Honoring this cancel means stopping the actual run,
+                # and the runtime declines mid-run aborts.
                 return False
             record.status = JOB_CANCELLED
             record.finished_at = time.time()
+            record.done_seq = next(self._done_seq)
             self._stats["cancelled"] += 1
-            # Lazy removal: _dispatch_locked skips cancelled entries.
-            self._queued_count -= 1
+            if not others_live:
+                # Last live subscriber gone: take the execution down.
+                if execution.status == JOB_QUEUED:
+                    execution.status = JOB_CANCELLED
+                    self._inflight.pop(execution.key, None)
+                    # Lazy removal: _dispatch_locked skips cancelled
+                    # deque entries.
+                    self._queued_count -= 1
+                elif execution.status == JOB_RUNNING:
+                    execution.abort_requested = True
+                    self._inflight.pop(execution.key, None)
+                    kill_handle = execution.handle
         record.event.set()
+        if kill_handle is not None:
+            # Outside the lock: the Session-level cancel may run its
+            # done-callback inline, which re-acquires our lock.
+            kill_handle.cancel()
         return True
 
     def wait_result(self, job_id: str, timeout: Optional[float] = None):
@@ -441,6 +630,7 @@ class GraphService:
             "max_workers_per_job": self._max_workers_per_job,
             "max_queue_depth": self._max_queue_depth,
             "tenant_weights": dict(self._weights),
+            "cancellation": self._cancellable,
         }
         num_vertices = getattr(self.graph, "num_vertices", None)
         if num_vertices is not None:
@@ -486,7 +676,14 @@ class GraphService:
         self._shutdown.set()
 
     def close(self) -> None:
-        """Stop the listener, cancel queued jobs, drain running ones."""
+        """Stop the listener, cancel queued jobs, drain running ones.
+
+        After this returns, :meth:`submit` raises
+        :class:`ServiceError` instead of touching the (now closed)
+        session.
+        """
+        with self._lock:
+            self._closed = True
         self._shutdown.set()
         if self._listener is not None:
             try:
@@ -496,13 +693,16 @@ class GraphService:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
         with self._lock:
-            queued = [r.job_id for q in self._queues.values() for r in q
+            queued = [r.job_id for r in self._records.values()
                       if r.status == JOB_QUEUED]
         for job_id in queued:
             self.cancel(job_id)
-        for chan in list(self._channels):
+        with self._conn_lock:
+            channels = list(self._channels)
+            threads = list(self._conn_threads)
+        for chan in channels:
             chan.close()
-        for t in list(self._conn_threads):
+        for t in threads:
             t.join(timeout=5.0)
         self._session.close(wait=True)
 
@@ -514,7 +714,10 @@ class GraphService:
 
     def _accept_loop(self) -> None:
         with selectors.DefaultSelector() as sel:
-            sel.register(self._listener, selectors.EVENT_READ)
+            try:
+                sel.register(self._listener, selectors.EVENT_READ)
+            except (ValueError, OSError):
+                return  # close() raced us and already took the listener
             while not self._shutdown.is_set():
                 if not sel.select(timeout=0.2):
                     continue
@@ -527,8 +730,14 @@ class GraphService:
                     target=self._serve_connection, args=(chan,),
                     daemon=True, name="service-conn",
                 )
-                self._channels.append(chan)
-                self._conn_threads.append(t)
+                with self._conn_lock:
+                    # Reap finished handler threads so a long-lived
+                    # service doesn't accumulate one entry per client
+                    # that ever connected.
+                    self._conn_threads = [x for x in self._conn_threads
+                                          if x.is_alive()]
+                    self._conn_threads.append(t)
+                    self._channels.append(chan)
                 t.start()
 
     def _serve_connection(self, chan: ControlChannel) -> None:
@@ -540,12 +749,36 @@ class GraphService:
                     continue
                 except (ChannelClosed, WireDecodeError, OSError):
                     return
-                reply = self._handle(request)
-                chan.send_obj(reply)
+                try:
+                    reply = self._handle(request)
+                except Exception as exc:
+                    # A handler bug must cost one request, not the
+                    # connection: report it as a typed internal error
+                    # and keep serving.
+                    reply = ("error", {
+                        "kind": "internal",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    })
+                try:
+                    chan.send_obj(reply)
+                except (ChannelClosed, OSError):
+                    return
+                except Exception as exc:
+                    # e.g. an unpicklable payload; the frame was never
+                    # started (send_obj serializes before writing), so
+                    # the channel is still coherent.
+                    chan.send_obj(("error", {
+                        "kind": "internal",
+                        "message": f"reply serialization failed: "
+                                   f"{type(exc).__name__}: {exc}",
+                    }))
         except (ChannelClosed, WireDecodeError, OSError):
             pass
         finally:
             chan.close()
+            with self._conn_lock:
+                if chan in self._channels:
+                    self._channels.remove(chan)
 
     def _handle(self, request) -> Tuple[str, Dict[str, Any]]:
         """One request tuple -> one ``("ok" | "error", payload)`` reply."""

@@ -47,7 +47,7 @@ def test_all_builtin_runtimes_registered():
 def test_capability_matrix_shape():
     matrix = capability_matrix()
     features = {"checkpointing", "failure_injection", "protocol_checking",
-                "resume"}
+                "resume", "cancellation"}
     for name in ("serial", "threaded", "checked", "process"):
         assert set(matrix[name]) == features
     assert matrix["serial"]["checkpointing"]
@@ -57,6 +57,13 @@ def test_capability_matrix_shape():
     for feature in features:
         assert matrix["process"][feature], feature
     assert not matrix["threaded"]["checkpointing"]
+    # Every single-host runtime supports cooperative cancellation;
+    # cluster declines it (aborting mid-epoch would strand attach-mode
+    # nodes).
+    for name in ("serial", "threaded", "checked", "process"):
+        assert matrix[name]["cancellation"], name
+    if "cluster" in matrix:
+        assert not matrix["cluster"]["cancellation"]
 
 
 def test_every_builtin_runs_through_registry(graph):

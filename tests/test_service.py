@@ -9,7 +9,9 @@ a light one, and a full admission queue rejects loudly.
 
 from __future__ import annotations
 
+import functools
 import threading
+import time
 
 import pytest
 
@@ -17,11 +19,13 @@ from repro import GThinkerConfig
 from repro.algorithms import count_triangles, max_clique_reference
 from repro.algorithms.matching import count_matches, triangle_query
 from repro.apps import TriangleCountComper
+from repro.core.api import Comper, SumAggregator, Task
 from repro.core.errors import JobCancelledError, JobRejectedError, ServiceError
 from repro.graph import erdos_renyi, graph_digest, with_random_labels
 from repro.service import (
     GraphService,
     JobSpec,
+    ResultCache,
     ServiceClient,
     cache_key,
     canonical_params,
@@ -109,6 +113,70 @@ def gate():
     _RELEASE.clear()
     yield (lambda: _STARTED.wait(10)), _RELEASE.set
     _RELEASE.set()  # never leave a runner thread hanging
+
+
+# -- a slow, steadily-syncing app for cancellation tests -----------------
+
+
+class _ServiceSlowComper(Comper):
+    """Long steady mining with frequent sync boundaries.
+
+    Module level (and built via :func:`functools.partial`) so the
+    ``process`` runtime can pickle the factory.
+    """
+
+    def __init__(self, iters: int = 2000, delay: float = 0.002) -> None:
+        super().__init__()
+        self.iters = iters
+        self.delay = delay
+
+    def task_spawn(self, v) -> None:
+        if v.id < 4:
+            t = Task(context=0)
+            t.pull(v.id)
+            self.add_task(t)
+
+    def compute(self, task, frontier) -> bool:
+        time.sleep(self.delay)
+        task.context += 1
+        if task.context >= self.iters:
+            self.aggregate(1)
+            return False
+        task.pull(frontier[0].id)
+        return True
+
+    def make_aggregator(self):
+        return SumAggregator()
+
+
+def _slow_builder(params):
+    return functools.partial(_ServiceSlowComper,
+                             int(params.get("iters", 2000)),
+                             float(params.get("delay", 0.002)))
+
+
+register_service_app(
+    "slow", _slow_builder,
+    description="test-only: mines slowly across many sync boundaries",
+    defaults={"iters": 2000, "delay": 0.002, "id": 0},
+)
+
+
+def slow_cfg(**kw):
+    # Tiny sync cadence + tiny inline budget: abort checks come fast.
+    base = dict(num_workers=2, compers_per_worker=1, sync_every_rounds=2,
+                inline_iteration_limit=2)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+def _wait_status(svc, job_id, status, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if svc.status(job_id)["status"] == status:
+            return True
+        time.sleep(0.01)
+    return False
 
 
 # -- end-to-end over the socket -----------------------------------------
@@ -377,3 +445,316 @@ class TestCLI:
                    "--app", "qc", "--param", "gamma=9"])
         assert rc == 1
         assert "rejected" in capsys.readouterr().err
+
+    def test_cancel_subcommand(self, graph, gate, capsys):
+        from repro.cli import main
+
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            host, port = svc.start().address
+            server = f"{host}:{port}"
+            assert main(["submit", "--server", server, "--app", "block",
+                         "--no-wait"]) == 0
+            blocker_id = capsys.readouterr().out.split()[0]
+            assert wait_started()
+            assert main(["submit", "--server", server, "--app", "tc",
+                         "--no-wait"]) == 0
+            queued_id = capsys.readouterr().out.split()[0]
+            assert main(["cancel", "--server", server, queued_id]) == 0
+            out = capsys.readouterr().out
+            assert "cancel accepted" in out and "cancelled" in out
+            # Already terminal: the second cancel refuses, exit 1.
+            assert main(["cancel", "--server", server, queued_id]) == 1
+            assert "not cancellable" in capsys.readouterr().err
+            release()
+            svc.wait_result(blocker_id, timeout=120)
+
+
+# -- running-job cancellation --------------------------------------------
+
+
+class TestRunningCancel:
+    @pytest.mark.parametrize("runtime", ["threaded", "process"])
+    def test_cancel_running_job_readmits_quota(self, graph, runtime):
+        """The acceptance proof: cancel a running job mid-mining and the
+        quota it held funds a queued follower — settled in done_seq
+        order (victim first), no budget leak."""
+        with GraphService(graph, config=slow_cfg(), runtime=runtime,
+                          worker_budget=2) as svc:
+            victim = svc.submit(JobSpec("slow"))
+            assert _wait_status(svc, victim["job_id"], "running")
+            follower = svc.submit(JobSpec("tc"))
+            assert follower["status"] == "queued"
+            time.sleep(0.05)  # let it actually mine a little
+            assert svc.cancel(victim["job_id"])
+            # The follower only runs once the victim's quota comes back.
+            result = svc.wait_result(follower["job_id"], timeout=120)
+            assert result.aggregate == count_triangles(graph)
+            with pytest.raises(JobCancelledError):
+                svc.wait_result(victim["job_id"], timeout=30)
+            v_rec = svc.status(victim["job_id"])
+            f_rec = svc.status(follower["job_id"])
+            assert v_rec["status"] == "cancelled"
+            assert v_rec["done_seq"] < f_rec["done_seq"]
+            stats = svc.stats()
+            assert stats["workers_available"] == 2
+            assert stats["cancelled"] == 1
+
+    def test_running_cancel_refused_without_capability(self, graph, gate):
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            svc._cancellable = False  # what a cluster-backed service gets
+            record = svc.submit(JobSpec("block"))
+            assert wait_started()
+            assert not svc.cancel(record["job_id"])
+            release()
+            assert svc.wait_result(record["job_id"], timeout=120) is not None
+
+
+# -- in-flight dedup ------------------------------------------------------
+
+
+class TestInflightDedup:
+    def test_identical_submissions_execute_once(self, graph, gate):
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            first = svc.submit(JobSpec("block", tenant="a"))
+            assert wait_started()
+            second = svc.submit(JobSpec("block", tenant="b"))
+            third = svc.submit(JobSpec("block", tenant="c"))
+            assert not first["deduped"]
+            assert second["deduped"] and third["deduped"]
+            assert second["status"] == "running"  # attached, not queued
+            release()
+            answers = [svc.wait_result(r["job_id"], timeout=120)
+                       for r in (first, second, third)]
+            assert len({a.aggregate for a in answers}) == 1
+            stats = svc.stats()
+            assert stats["executed"] == 1
+            assert stats["deduped"] == 2
+            assert stats["completed"] == 3
+            assert stats["workers_available"] == 2
+
+    def test_dedup_attaches_while_queued(self, graph, gate):
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            svc.submit(JobSpec("block"))
+            assert wait_started()
+            q1 = svc.submit(JobSpec("tc"))
+            q2 = svc.submit(JobSpec("tc"))
+            assert q1["status"] == q2["status"] == "queued"
+            assert q2["deduped"] and not q1["deduped"]
+            assert svc.stats()["queued"] == 1  # one execution, two records
+            release()
+            r1 = svc.wait_result(q1["job_id"], timeout=120)
+            r2 = svc.wait_result(q2["job_id"], timeout=120)
+            assert r1.aggregate == r2.aggregate == count_triangles(graph)
+            assert svc.stats()["executed"] == 2  # block + one tc
+
+    def test_cancel_one_subscriber_spares_the_execution(self, graph, gate):
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            first = svc.submit(JobSpec("block", tenant="a"))
+            assert wait_started()
+            second = svc.submit(JobSpec("block", tenant="b"))
+            assert svc.cancel(second["job_id"])
+            rec = svc.status(second["job_id"])
+            assert rec["status"] == "cancelled"
+            assert rec["done_seq"] is not None
+            release()
+            # The shared execution keeps mining for its live subscriber.
+            assert svc.wait_result(first["job_id"], timeout=120) is not None
+            stats = svc.stats()
+            assert stats["cancelled"] == 1
+            assert stats["completed"] == 1
+            assert stats["executed"] == 1
+
+    def test_last_subscriber_cancel_kills_execution(self, graph):
+        with GraphService(graph, config=slow_cfg(), runtime="threaded",
+                          worker_budget=2) as svc:
+            first = svc.submit(JobSpec("slow"))
+            assert _wait_status(svc, first["job_id"], "running")
+            second = svc.submit(JobSpec("slow"))
+            assert second["deduped"]
+            assert svc.cancel(second["job_id"])  # execution survives
+            assert svc.cancel(first["job_id"])   # last subscriber: kill it
+            with pytest.raises(JobCancelledError):
+                svc.wait_result(first["job_id"], timeout=30)
+            # The record settles at cancel time; the quota comes back
+            # once the abort lands at the next sync boundary.
+            deadline = time.monotonic() + 30
+            while (svc.stats()["workers_available"] != 2
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert svc.stats()["workers_available"] == 2
+            assert svc.stats()["inflight"] == 0
+            # A fresh identical submission must NOT attach to the dying
+            # execution: it runs (or queues) anew.
+            again = svc.submit(JobSpec("slow"))
+            assert not again["deduped"]
+            svc.cancel(again["job_id"])
+
+
+# -- the persistent result cache ------------------------------------------
+
+
+class TestPersistentCache:
+    def test_restart_serves_from_disk_with_zero_rounds(self, graph, oracles,
+                                                       tmp_path):
+        cache_dir = str(tmp_path / "results")
+        with GraphService(graph, config=cfg(),
+                          cache_dir=cache_dir) as svc:
+            record = svc.submit(JobSpec("tc"))
+            svc.wait_result(record["job_id"], timeout=120)
+        # A brand-new service over the same graph + cache dir: the
+        # repeat answers from disk without touching a worker.
+        with GraphService(graph, config=cfg(),
+                          cache_dir=cache_dir) as svc2:
+            again = svc2.submit(JobSpec("tc"))
+            assert again["cached"]
+            assert again["mining_rounds"] == 0
+            result = svc2.wait_result(again["job_id"], timeout=10)
+            assert result.aggregate == oracles["tc"]
+            stats = svc2.stats()
+            assert stats["executed"] == 0
+            assert stats["cache_hits"] == 1
+            assert stats["cache_disk_entries"] >= 1
+
+    def test_digest_mismatch_invalidates_stale_files(self, graph, tmp_path):
+        cache_dir = str(tmp_path / "results")
+        with GraphService(graph, config=cfg(), cache_dir=cache_dir) as svc:
+            record = svc.submit(JobSpec("tc"))
+            svc.wait_result(record["job_id"], timeout=120)
+            assert svc.stats()["cache_disk_entries"] == 1
+        other = erdos_renyi(40, 0.2, seed=99)
+        with GraphService(other, config=cfg(), cache_dir=cache_dir) as svc2:
+            fresh = svc2.submit(JobSpec("tc"))
+            assert not fresh["cached"]  # different digest: a true miss
+            assert (svc2.wait_result(fresh["job_id"], timeout=120).aggregate
+                    == count_triangles(other))
+
+    def test_corrupt_file_is_a_miss_and_self_cleans(self, tmp_path):
+        cache = ResultCache(8, "digest-a", cache_dir=str(tmp_path))
+        cache.put("deadbeef", {"answer": 42})
+        assert cache.disk_entries() == 1
+        (tmp_path / "deadbeef.pkl").write_bytes(b"not a pickle")
+        fresh = ResultCache(8, "digest-a", cache_dir=str(tmp_path))
+        assert fresh.get("deadbeef") is None
+        assert fresh.disk_entries() == 0  # the bad file was discarded
+
+    def test_wrong_digest_file_is_discarded(self, tmp_path):
+        ResultCache(8, "digest-a", cache_dir=str(tmp_path)).put("k1", "v1")
+        cache_b = ResultCache(8, "digest-b", cache_dir=str(tmp_path))
+        assert cache_b.get("k1") is None
+        assert cache_b.disk_entries() == 0
+
+    def test_disk_survives_memory_eviction(self, tmp_path):
+        cache = ResultCache(1, "d", cache_dir=str(tmp_path))
+        cache.put("k1", "v1")
+        cache.put("k2", "v2")  # evicts k1 from the LRU
+        assert len(cache) == 1
+        assert cache.get("k1") == "v1"  # reloaded from disk
+
+    def test_capacity_zero_disables_disk_too(self, tmp_path):
+        cache = ResultCache(0, "d", cache_dir=str(tmp_path))
+        cache.put("k1", "v1")
+        assert cache.get("k1") is None
+        assert cache.disk_entries() == 0
+        assert not list(tmp_path.iterdir())
+
+
+# -- service-layer regression fixes ---------------------------------------
+
+
+class TestServiceBugfixes:
+    def test_submit_after_close_is_a_typed_rejection(self, graph):
+        svc = GraphService(graph, config=cfg(), worker_budget=2)
+        svc.close()
+        with pytest.raises(ServiceError, match="shut down"):
+            svc.submit(JobSpec("tc"))
+        # Rejected *before* any scheduler mutation: no ghost record, no
+        # leaked budget, nothing counted as submitted.
+        stats = svc.stats()
+        assert stats["submitted"] == 0
+        assert stats["workers_available"] == 2
+        assert svc.jobs() == []
+
+    def test_dispatch_failure_restores_budget_and_fails_record(self, graph):
+        svc = GraphService(graph, config=cfg(), worker_budget=2)
+        try:
+            # Close the session behind the scheduler's back — the race
+            # close() used to lose: Session.submit raises mid-dispatch.
+            svc._session.close(wait=True)
+            record = svc.submit(JobSpec("tc"))
+            assert svc.status(record["job_id"])["status"] == "failed"
+            assert "dispatch failed" in svc.status(record["job_id"])["error"]
+            with pytest.raises(ServiceError, match="dispatch failed"):
+                svc.wait_result(record["job_id"], timeout=5)
+            stats = svc.stats()
+            assert stats["workers_available"] == 2  # budget restored
+            assert stats["executed"] == 0
+            assert stats["failed"] == 1
+        finally:
+            svc.close()
+
+    def test_queued_cancel_stamps_done_seq(self, graph, gate):
+        wait_started, release = gate
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            blocker = svc.submit(JobSpec("block"))
+            assert wait_started()
+            queued = svc.submit(JobSpec("tc"))
+            assert svc.cancel(queued["job_id"])
+            cancelled_rec = svc.status(queued["job_id"])
+            assert cancelled_rec["done_seq"] is not None
+            release()
+            svc.wait_result(blocker["job_id"], timeout=120)
+            # Completion ordering is observable: the cancel settled first.
+            assert (svc.status(blocker["job_id"])["done_seq"]
+                    > cancelled_rec["done_seq"])
+
+    def test_internal_error_reply_keeps_connection_alive(self, service):
+        from repro.net.tcp import ControlChannel, connect_with_retry
+
+        host, port = service.address
+        chan = ControlChannel(connect_with_retry(host, port, 10.0))
+        try:
+            # A payload that explodes inside the handler (dict("...")
+            # raises ValueError) must cost one request, not the socket.
+            chan.send_obj(("submit", {"app": "tc", "params": "notadict"}))
+            status, body = chan.recv_obj(timeout=10)
+            assert status == "error" and body["kind"] == "internal"
+            chan.send_obj(("stats", {}))
+            status, _body = chan.recv_obj(timeout=10)
+            assert status == "ok"
+        finally:
+            chan.close()
+
+    def test_connection_tracking_is_bounded(self, graph):
+        with GraphService(graph, config=cfg(), worker_budget=2) as svc:
+            host, port = svc.start().address
+            for _ in range(8):
+                with ServiceClient(f"{host}:{port}") as c:
+                    c.server_info()
+            with ServiceClient(f"{host}:{port}") as c:
+                # The accept loop reaps finished handler threads, so 8
+                # dead connections must not linger in the tracking lists.
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if c.stats()["open_connections"] <= 2:
+                        break
+                    time.sleep(0.05)
+                assert c.stats()["open_connections"] <= 2
+            with svc._conn_lock:
+                assert len(svc._conn_threads) <= 3
+                assert len(svc._channels) <= 3
+
+    def test_drained_tenants_are_pruned(self, graph):
+        with GraphService(graph, config=cfg(), worker_budget=2,
+                          result_cache_size=0) as svc:
+            for n in range(6):
+                record = svc.submit(JobSpec("tc", tenant=f"tenant-{n}"))
+                svc.wait_result(record["job_id"], timeout=120)
+            # Every tenant has drained; the stride-scheduler maps must
+            # not keep one entry per tenant that ever submitted.
+            assert svc.stats()["tracked_tenants"] == 0
+            assert svc.stats()["queued"] == 0

@@ -12,6 +12,7 @@ checkpoint-capable runtime.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -19,9 +20,11 @@ from repro import GThinkerConfig, Session, run_job
 from repro.algorithms import count_triangles, max_clique_reference
 from repro.apps import MaxCliqueComper, TriangleCountComper
 from repro.core import resume_job
+from repro.core.api import Comper, SumAggregator, Task
 from repro.core.errors import JobAbortedError, JobCancelledError
 from repro.core.job import resolve_resume
-from repro.core.session import JOB_CANCELLED, JOB_DONE, LocalJobHandle
+from repro.core.runtime import get_runtime
+from repro.core.session import JOB_CANCELLED, JOB_DONE, JOB_RUNNING, LocalJobHandle
 from repro.graph import erdos_renyi
 
 
@@ -116,7 +119,7 @@ class TestSession:
             with pytest.raises(JobCancelledError):
                 queued.result(timeout=1)
             release.set()
-        # A running job is never cancellable; neither is a finished one.
+        # A finished handle (terminal state) is never cancellable.
         assert not queued.cancel()
 
     def test_done_callback_fires_once(self, graph):
@@ -129,6 +132,98 @@ class TestSession:
         handle.add_done_callback(seen.append)
         assert seen == [handle, handle]
         assert all(isinstance(h, LocalJobHandle) for h in seen)
+
+
+# -- running-job cancellation ------------------------------------------
+
+
+class SlowComper(Comper):
+    """A long, steady burn: a few tasks iterating for many rounds.
+
+    Each compute sleeps briefly and re-pulls a local vertex, so with a
+    small ``inline_iteration_limit`` the engine keeps crossing sync
+    boundaries — exactly where the abort token is honored.  Module
+    level so ``runtime='process'`` can pickle it.
+    """
+
+    def __init__(self, iters: int = 2000, delay: float = 0.002) -> None:
+        super().__init__()
+        self.iters = iters
+        self.delay = delay
+
+    def task_spawn(self, v) -> None:
+        if v.id < 4:
+            t = Task(context=0)
+            t.pull(v.id)
+            self.add_task(t)
+
+    def compute(self, task, frontier) -> bool:
+        time.sleep(self.delay)
+        task.context += 1
+        if task.context >= self.iters:
+            self.aggregate(1)
+            return False
+        task.pull(frontier[0].id)
+        return True
+
+    def make_aggregator(self):
+        return SumAggregator()
+
+
+def slow_cfg(**kw):
+    # Tiny sync cadence + tiny inline budget: abort checks come fast.
+    base = dict(num_workers=2, compers_per_worker=1, sync_every_rounds=2,
+                inline_iteration_limit=2)
+    base.update(kw)
+    return GThinkerConfig(**base)
+
+
+class TestRunningCancel:
+    @pytest.mark.parametrize("runtime", ["serial", "threaded", "process"])
+    def test_running_job_cancels_at_sync_boundary(self, graph, runtime):
+        with Session(graph, slow_cfg(), runtime=runtime) as session:
+            handle = session.submit(SlowComper)
+            deadline = time.monotonic() + 10
+            while handle.status() != JOB_RUNNING:
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.005)
+            time.sleep(0.05)  # let it actually mine a little
+            assert handle.cancel()  # accepted: settles asynchronously
+            with pytest.raises(JobCancelledError):
+                handle.result(timeout=30)
+            assert handle.status() == JOB_CANCELLED
+            # Cancel is idempotent-False once terminal.
+            assert not handle.cancel()
+            # The session is still healthy: a follow-up job runs fine.
+            after = session.submit(TriangleCountComper,
+                                   config=cfg(num_workers=2))
+            assert after.result(timeout=60).aggregate == count_triangles(graph)
+
+    def test_capability_flags(self):
+        for runtime in ("serial", "threaded", "process", "checked"):
+            assert get_runtime(runtime).capabilities.cancellation, runtime
+        # Cluster declines mid-run cancellation: remote attach-mode
+        # nodes would be stranded mid-epoch.
+        assert not get_runtime("cluster").capabilities.cancellation
+
+    def test_cancel_without_capability_returns_false(self, graph,
+                                                     monkeypatch):
+        # Simulate an incapable runtime: a running handle with no abort
+        # token must refuse (False), not pretend.
+        started, release = threading.Event(), threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(30)
+            return TriangleCountComper()
+
+        with Session(graph, cfg()) as session:
+            handle = session.submit(blocker)
+            assert started.wait(10)
+            handle._abort = None  # what a capability-less runtime gets
+            assert not handle.cancel()
+            release.set()
+            assert handle.result(timeout=60) is not None
 
 
 # -- the one-shot wrappers ---------------------------------------------
