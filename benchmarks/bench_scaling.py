@@ -149,6 +149,13 @@ def run_sweep(quick: bool, rounds: int, worker_grid) -> list:
             cell["wall_s"] = min(cell["wall_s"], wall)
             cell["answer"] = _answer(cell["app"], result)
             cell["backend_ran"] = result.kernel_backend
+            if cell["runtime"] != "serial":
+                cell["control_plane_s"] = {
+                    "time:master_sweep_s":
+                        result.metrics.get("time:master_sweep_s", 0.0),
+                    "time:control_idle_s":
+                        result.metrics.get("time:control_idle_s", 0.0),
+                }
             print(f"round {rnd + 1}/{rounds} {cell['graph_model']} "
                   f"{cell['app']} backend={cell['backend']} "
                   f"{cell['runtime']}x{cell['workers']}: {wall:.2f}s",
@@ -188,6 +195,9 @@ def run_sweep(quick: bool, rounds: int, worker_grid) -> list:
             "efficiency_valid": cell["cpu_count"] >= workers,
             "answer": cell["answer"],
             "answers_equal": cell["answer"] == serial_answer[key],
+            # Control-plane overhead timers (parallel runtimes only):
+            # master time inside sweep protocol work vs blocked idle.
+            "control_plane_s": cell.get("control_plane_s"),
         })
     return rows
 

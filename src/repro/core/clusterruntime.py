@@ -172,10 +172,9 @@ def _node_serve(
         if global_value is not None:
             worker.aggregator.publish_global(global_value)
         injector = FailureInjector(config.failure_plan, node_id, incarnation)
-        session = NodeSession(worker, transport, injector, metrics)
+        session = NodeSession(worker, transport, injector, metrics, config)
 
         backoff = config.idle_sleep_s
-        was_drained = False
         while True:
             worked = session.step()
 
@@ -185,14 +184,14 @@ def _node_serve(
                 if session.done:
                     return
 
+            # Unsolicited notifications: the drained-edge ("wake", nid)
+            # in sweep mode, pushed status deltas in async mode.
+            for push in session.pending_pushes():
+                channel.send_obj(push)
+
             if worked:
                 backoff = config.idle_sleep_s
-                was_drained = False
             else:
-                drained = session.drained()
-                if drained and not was_drained:
-                    channel.send_obj(("wake", node_id))
-                was_drained = drained
                 # Block until a control command or a data-plane frame
                 # arrives, up to backoff; the channel registers by its
                 # fileno alongside the transport's sockets.
@@ -506,39 +505,53 @@ class _ClusterMaster(ControlPlaneMaster):
                     recoverable=True,
                 ) from exc
             self._raise_from_report(msg)
-            if isinstance(msg, tuple) and msg and msg[0] == "wake":
-                # Unsolicited idle notification racing a request-reply
-                # exchange; the reply we are waiting for is behind it.
+            if self._note_oob(node_id, msg):
+                # Unsolicited notification (wake or pushed status)
+                # racing a request-reply exchange; the reply we are
+                # waiting for is behind it.
                 continue
             return msg
 
-    def _wait_for_wake(self, timeout: float) -> bool:
-        """Sleep up to ``timeout``, waking early on a node's unsolicited
-        ``("wake", nid)``; raises on error reports and channel loss."""
+    def _drain_events(self, timeout: float) -> None:
+        """Multiplexed control-event drain over every node's channel.
+
+        Blocks up to ``timeout`` (in <=0.25s selector slices) for the
+        first control frame, then consumes everything buffered on every
+        channel via the non-blocking ``drain_nowait``.  Out-of-band
+        messages route through ``_note_oob``; error reports raise final,
+        channel loss raises as a recoverable machine loss.
+        """
         deadline = time.monotonic() + timeout
-        woke = False
         while True:
+            got = False
             for nid, chan in enumerate(self.channels):
                 try:
-                    while chan.poll(0):
-                        msg = chan.recv_obj()
+                    for msg in chan.drain_nowait():
                         self._raise_from_report(msg)
-                        if isinstance(msg, tuple) and msg and msg[0] == "wake":
-                            woke = True
+                        if not self._note_oob(nid, msg):
+                            raise WorkerProcessError(
+                                nid,
+                                "unexpected out-of-band control message "
+                                f"{type(msg).__name__}",
+                            )
+                        got = True
                 except (ChannelClosed, WireDecodeError) as exc:
                     raise WorkerProcessError(
                         nid, f"control channel lost while idle: {exc}",
                         recoverable=True,
                     ) from exc
             remaining = deadline - time.monotonic()
-            if woke or remaining <= 0:
-                return woke
+            if got or remaining <= 0:
+                return
             with selectors.DefaultSelector() as sel:
                 for chan in self.channels:
                     try:
                         sel.register(chan, selectors.EVENT_READ)
                     except (KeyError, ValueError, OSError):
-                        return True  # a dead fd; let the next sweep report it
+                        # A dead fd; surface it as a wake so the next
+                        # protocol op reports the loss.
+                        self._pending_wake = True
+                        return
                 sel.select(min(remaining, 0.25))
 
 

@@ -16,6 +16,25 @@ plane, many machines) drive the *same* protocol:
   settled state → snapshot every node → resume with the folded global;
 * bounded-restart **global rollback** recovery in :meth:`run`.
 
+Two coordination modes, selected by ``GThinkerConfig.control_plane``:
+
+* ``'sweep'`` (legacy, the oracle): the master drives a serial
+  round-robin request-reply ``sync`` probe over every node each period
+  and blocks on each reply — sweep cost is O(nodes) per round and
+  includes every node's burst latency.
+* ``'async'``: nodes *push* compact :class:`NodeStatus` deltas over the
+  control channel when their state changes materially (and in reply to
+  a fire-and-forget ``asweep`` aggregator broadcast); the master
+  consumes them from a single multiplexed event drain
+  (``_drain_events``) so per-round cost is O(active changes).  Steal
+  plans are published as fire-and-forget ``dsteal`` commands — the
+  ``B_task`` batch travels victim→thief directly over the data
+  transport, removing the two master round-trips per steal — and
+  termination is only *hinted* by the pushed table: the hint is always
+  confirmed by two legacy synchronous sweeps (the same Safra double
+  snapshot), so the termination proof is identical in both modes.
+  Checkpoints keep the synchronous quiesce/settle barrier unchanged.
+
 This module holds that protocol once, in
 :class:`ControlPlaneMaster`, parameterised over a tiny plumbing surface
 the backends implement (``num_nodes``, ``_send``, ``_recv``,
@@ -169,6 +188,7 @@ class NodeSession:
         transport,
         injector: FailureInjector,
         metrics: MetricsRegistry,
+        config: Optional[GThinkerConfig] = None,
     ) -> None:
         self.worker = worker
         self.transport = transport
@@ -176,6 +196,16 @@ class NodeSession:
         self.metrics = metrics
         self.quiesced = False
         self.done = False
+        self.async_mode = config is not None and config.control_plane == "async"
+        # Push-based status state (async mode): deltas go out when the
+        # signature changes materially, rate-limited to a fraction of
+        # the sync period so a busy node cannot flood the control pipe.
+        self._was_drained = False
+        self._last_push_sig = None
+        self._last_push_t = 0.0
+        self._push_interval = (
+            config.aggregator_sync_period_s / 4 if config is not None else 0.0
+        )
 
     def step(self) -> bool:
         """One comm step plus (unless quiesced) a burst of engine steps.
@@ -221,6 +251,75 @@ class NodeSession:
             and self.transport.pending_unflushed() == 0
         )
 
+    def _build_status(self) -> NodeStatus:
+        """Flush node-local state and build a fresh :class:`NodeStatus`.
+
+        The serve loop is the process's only cache-mutating thread, so
+        flushing here makes ``s_cache`` exact and the lock-acquisition
+        metric current at every status report.
+        """
+        worker = self.worker
+        transport = self.transport
+        worker.flush_for_status()
+        transport.flush_outgoing()
+        status = NodeStatus(
+            worker_id=worker.worker_id,
+            tasks_in_memory=worker.tasks_in_memory(),
+            tasks_on_disk=len(worker.l_file),
+            unspawned=worker.unspawned_count(),
+            outgoing=(worker.comm.pending_outgoing()
+                      + transport.pending_unflushed()),
+            sent=transport.sent_count,
+            received=transport.received_count,
+            progress=worker.progress.value,
+            workload=worker.remaining_workload_estimate(),
+            partial=worker.aggregator.take_partial(),
+        )
+        self._last_push_sig = self._status_signature()
+        self._last_push_t = time.monotonic()
+        return status
+
+    def _status_signature(self):
+        """Compact view of the state the master plans from.
+
+        A push goes out only when this changes: the components are the
+        drain predicate's inputs plus the workload estimate quantised to
+        batch granularity (so per-task progress does not look material).
+        """
+        worker = self.worker
+        batch = max(1, worker.config.task_batch_size)
+        return (
+            self.drained(),
+            worker.tasks_in_memory() == 0,
+            len(worker.l_file),
+            worker.unspawned_count() == 0,
+            worker.remaining_workload_estimate() // batch,
+        )
+
+    def pending_pushes(self) -> List[Any]:
+        """Unsolicited messages the serve loop should send now.
+
+        Sweep mode keeps the legacy behaviour — one ``("wake", id)`` on
+        the busy→drained edge so the master runs its confirming sweep
+        early.  Async mode sends a full status delta whenever the
+        signature changed and either the drain edge fired or the
+        rate-limit interval elapsed; the master folds the carried
+        partial and updates its status table without ever probing.
+        """
+        drained = self.drained()
+        edge = drained and not self._was_drained
+        self._was_drained = drained
+        if not self.async_mode:
+            return [("wake", self.worker.worker_id)] if edge else []
+        if self.quiesced:
+            return []
+        sig = self._status_signature()
+        if sig == self._last_push_sig:
+            return []
+        if not edge and time.monotonic() - self._last_push_t < self._push_interval:
+            return []
+        return [("status", self._build_status())]
+
     def handle(self, cmd):
         """Execute one control command; returns the reply to send back.
 
@@ -237,26 +336,35 @@ class NodeSession:
             # waiting mid-protocol, like a machine loss.
             self.injector.fire("sync")
             worker.aggregator.publish_global(cmd[1])
-            # The serve loop is the process's only cache-mutating
-            # thread, so flushing here makes s_cache exact and the
-            # lock-acquisition metric current at every sync.
-            worker.cache.flush_local_counter()
-            worker.cache.commit_lock_metrics()
-            worker.update_memory_gauge()
-            transport.flush_outgoing()
-            return NodeStatus(
-                worker_id=worker.worker_id,
-                tasks_in_memory=worker.tasks_in_memory(),
-                tasks_on_disk=len(worker.l_file),
-                unspawned=worker.unspawned_count(),
-                outgoing=(worker.comm.pending_outgoing()
-                          + transport.pending_unflushed()),
-                sent=transport.sent_count,
-                received=transport.received_count,
-                progress=worker.progress.value,
-                workload=worker.remaining_workload_estimate(),
-                partial=worker.aggregator.take_partial(),
-            )
+            return self._build_status()
+        if tag == "asweep":
+            # The async-mode aggregator broadcast: same wire effects as
+            # "sync" (including the injector event, so the kill matrix
+            # carries over), but the reply is tagged so the master's
+            # multiplexed drain routes it like any other push.
+            self.injector.fire("sync")
+            worker.aggregator.publish_global(cmd[1])
+            return ("status", self._build_status())
+        if tag == "dsteal":
+            # Master-bypass steal: ship the batch straight to the thief
+            # over the data transport (no master round-trip), then push
+            # a status so the master's plan table self-corrects.
+            self.injector.fire("steal")
+            _tag, thief_id, max_tasks = cmd
+            payload_info = worker.l_file.take_payload()
+            if payload_info is None:
+                payload_info = worker.spawn_batch_payload(max_tasks)
+            if payload_info is not None:
+                payload, moved = payload_info
+                transport.send(TaskBatchTransfer(
+                    src=worker.worker_id, dst=thief_id,
+                    payload=payload, num_tasks=moved,
+                ))
+                transport.flush_outgoing()
+                self.metrics.add("steal:direct_batches")
+                self.metrics.add("steal:batches")
+                self.metrics.add("steal:tasks", moved)
+            return ("status", self._build_status())
         if tag == "steal":
             self.injector.fire("steal")
             _tag, thief_id, max_tasks = cmd
@@ -294,9 +402,7 @@ class NodeSession:
             self.quiesced = False
             return ("resumed", worker.worker_id)
         if tag == "stop":
-            worker.cache.flush_local_counter()
-            worker.cache.commit_lock_metrics()
-            worker.update_memory_gauge()
+            worker.flush_for_status()
             self.done = True
             return NodeFinal(
                 worker_id=worker.worker_id,
@@ -353,6 +459,16 @@ class ControlPlaneMaster:
         self._epoch = 0
         self._last_checkpoint: Optional[JobCheckpoint] = None
         self._deadline = float("inf")
+        #: Set by :meth:`_note_oob` whenever an out-of-band message is
+        #: consumed anywhere (a sweep's ``_recv``, a drain); the base
+        #: :meth:`_wait_for_wake` returns immediately while it is set,
+        #: so a wake that arrived mid-sweep is never slept through.
+        self._pending_wake = False
+        #: Async-mode pushed-status table (``None`` while inactive).
+        self._status_table: Optional[List[Optional[NodeStatus]]] = None
+        self._status_heard: Optional[List[float]] = None
+        self._status_dirty = False
+        self._last_steal_key = None
 
     # -- plumbing the backend must provide --------------------------------
 
@@ -366,15 +482,71 @@ class ControlPlaneMaster:
     def _recv(self, node_id: int, timeout: Optional[float] = None):
         raise NotImplementedError
 
-    def _wait_for_wake(self, timeout: float) -> bool:
+    def _drain_events(self, timeout: float) -> None:
+        """Block up to ``timeout`` for control traffic, then drain it all.
+
+        The backend multiplexes every node's control channel (pipes via
+        a selector wait, sockets via the channel's non-blocking drain),
+        routing each message through :meth:`_note_oob` and raising
+        :class:`WorkerProcessError` for error reports or dead nodes.
+        """
         raise NotImplementedError
 
     def _recover(self) -> None:
         raise NotImplementedError
 
+    # -- shared event handling --------------------------------------------
+
+    def _note_oob(self, node_id: int, msg) -> bool:
+        """Consume one out-of-band (unsolicited) control message.
+
+        Returns True when ``msg`` was an OOB notification — a ``wake``
+        or a pushed ``status`` — and False when it is a synchronous
+        reply the caller was waiting for.  Pushed partials are folded
+        here exactly once (the node's ``take_partial`` swapped them out,
+        so they exist nowhere else) and then cleared before the status
+        is stored, so a later re-read cannot double-fold.
+        """
+        if not (isinstance(msg, tuple) and msg):
+            return False
+        tag = msg[0]
+        if tag == "wake":
+            self._pending_wake = True
+            if self._status_heard is not None:
+                self._status_heard[node_id] = time.monotonic()
+            return True
+        if tag == "status":
+            status = msg[1]
+            self._pending_wake = True
+            self.global_aggregator.fold(status.partial)
+            status.partial = None
+            self.metrics.add("control:status_pushes")
+            if self._status_table is not None:
+                self._status_table[status.worker_id] = status
+                self._status_dirty = True
+            if self._status_heard is not None:
+                self._status_heard[node_id] = time.monotonic()
+            return True
+        return False
+
+    def _wait_for_wake(self, timeout: float) -> bool:
+        """Idle until a control message arrives or ``timeout`` elapses.
+
+        Never sleeps past a pending message: if a wake was already
+        consumed (e.g. during a sweep's ``_recv``) this returns without
+        blocking at all, and otherwise the backend's ``_drain_events``
+        wakes on the *first* message rather than a fixed interval.
+        """
+        if not self._pending_wake:
+            self._drain_events(timeout)
+        woke = self._pending_wake
+        self._pending_wake = False
+        return woke
+
     # -- protocol ---------------------------------------------------------
 
     def _sweep(self) -> List[NodeStatus]:
+        t0 = time.perf_counter()
         value = self.global_aggregator.value
         for nid in range(self.num_nodes):
             self._send(nid, ("sync", value))
@@ -388,6 +560,8 @@ class ControlPlaneMaster:
             statuses.append(msg)
         for s in statuses:
             self.global_aggregator.fold(s.partial)
+            s.partial = None
+        self.metrics.add("time:master_sweep_s", time.perf_counter() - t0)
         return statuses
 
     def _plan_steals(self, statuses: List[NodeStatus]) -> None:
@@ -401,6 +575,14 @@ class ControlPlaneMaster:
         """
         if not self.config.steal_enabled or len(statuses) < 2:
             return
+        # Memoize on the (worker, workload) view: when nothing changed
+        # since the last round the sorted plan is identical, so skip the
+        # whole sort/pair loop and count the skip.
+        key = tuple(sorted((s.worker_id, s.workload) for s in statuses))
+        if key == self._last_steal_key:
+            self.metrics.add("control:steal_plan_skipped")
+            return
+        self._last_steal_key = key
         estimates = [[s.workload, s.worker_id] for s in statuses]
         batch = self.config.task_batch_size
         cap = self.config.steal_batches * batch
@@ -492,11 +674,42 @@ class ControlPlaneMaster:
         for nid in range(n):
             self._recv(nid)  # ("resumed", nid)
 
+    @staticmethod
+    def _statuses_idle(statuses: List[NodeStatus]) -> bool:
+        """The Safra snapshot predicate over one full status set."""
+        return (
+            all(
+                s.tasks_in_memory == 0 and s.tasks_on_disk == 0
+                and s.unspawned == 0 and s.outgoing == 0
+                for s in statuses
+            )
+            and sum(s.sent for s in statuses)
+            == sum(s.received for s in statuses)
+        )
+
+    def _finalize(self) -> List[NodeFinal]:
+        finals: List[NodeFinal] = []
+        for nid in range(self.num_nodes):
+            self._send(nid, ("stop",))
+        for nid in range(self.num_nodes):
+            msg = self._recv(nid)
+            if not isinstance(msg, NodeFinal):
+                raise WorkerProcessError(
+                    nid, f"expected a final report, got {type(msg).__name__}"
+                )
+            # The paper's closing rule: one more aggregation pass so data
+            # from every task is folded before the job result is read.
+            self.global_aggregator.fold(msg.partial)
+            finals.append(msg)
+        return finals
+
     def _run_to_completion(self) -> List[NodeFinal]:
         prev_idle = False
         prev_progress = -1
         sweeps = 0
         sweep_wait = self.config.idle_sleep_s
+        self._pending_wake = False
+        self._last_steal_key = None
         while True:
             if self.abort is not None:
                 # The unwind reaches the executor's ``finally``, which
@@ -516,15 +729,7 @@ class ControlPlaneMaster:
                 raise JobAbortedError(
                     f"job aborted after {sweeps} sync sweeps"
                 )
-            idle = (
-                all(
-                    s.tasks_in_memory == 0 and s.tasks_on_disk == 0
-                    and s.unspawned == 0 and s.outgoing == 0
-                    for s in statuses
-                )
-                and sum(s.sent for s in statuses)
-                == sum(s.received for s in statuses)
-            )
+            idle = self._statuses_idle(statuses)
             progress = sum(s.progress for s in statuses)
             if idle and prev_idle and progress == prev_progress:
                 break
@@ -539,34 +744,168 @@ class ControlPlaneMaster:
                 # most of the fixed-cadence latency on short jobs.
                 sweep_wait = self.config.idle_sleep_s
                 continue
-            if self._wait_for_wake(sweep_wait):
+            t0 = time.perf_counter()
+            woke = self._wait_for_wake(sweep_wait)
+            self.metrics.add("time:control_idle_s", time.perf_counter() - t0)
+            if woke:
                 sweep_wait = self.config.idle_sleep_s
             else:
                 sweep_wait = min(sweep_wait * 2,
                                  self.config.aggregator_sync_period_s)
 
-        finals: List[NodeFinal] = []
-        for nid in range(self.num_nodes):
-            self._send(nid, ("stop",))
-        for nid in range(self.num_nodes):
-            msg = self._recv(nid)
-            if not isinstance(msg, NodeFinal):
-                raise WorkerProcessError(
-                    nid, f"expected a final report, got {type(msg).__name__}"
-                )
-            # The paper's closing rule: one more aggregation pass so data
-            # from every task is folded before the job result is read.
-            self.global_aggregator.fold(msg.partial)
-            finals.append(msg)
-        return finals
+        return self._finalize()
+
+    # -- async (event-driven) protocol ------------------------------------
+
+    def _plan_steals_async(self) -> None:
+        """Publish the steal plan as fire-and-forget ``dsteal`` commands.
+
+        Same proportional math and hysteresis as :meth:`_plan_steals`,
+        but the master never waits for a reply: the victim ships the
+        batch straight to the thief over the data transport and pushes a
+        corrective status.  The local table is updated optimistically so
+        a stale view does not replan the same transfer every drain.
+        """
+        statuses = [s for s in self._status_table if s is not None]
+        if not self.config.steal_enabled or len(statuses) < 2:
+            return
+        key = tuple(sorted((s.worker_id, s.workload) for s in statuses))
+        if key == self._last_steal_key:
+            self.metrics.add("control:steal_plan_skipped")
+            return
+        self._last_steal_key = key
+        estimates = [[s.workload, s.worker_id] for s in statuses]
+        batch = self.config.task_batch_size
+        cap = self.config.steal_batches * batch
+        prev_pairs = getattr(self, "_last_steal_pairs", frozenset())
+        pairs = set()
+        by_id = {s.worker_id: s for s in statuses}
+        for _ in range(self.config.steal_batches):
+            estimates.sort()
+            low, high = estimates[0], estimates[-1]
+            gap = high[0] - low[0]
+            if gap <= 2 * batch:
+                break
+            if (low[1], high[1]) in prev_pairs:
+                break
+            amount = max(batch, min(gap // 4, cap))
+            self._send(high[1], ("dsteal", low[1], amount))
+            pairs.add((high[1], low[1]))
+            # Optimistic accounting: assume the full amount moves.  The
+            # victim's corrective status push overwrites this shortly;
+            # meanwhile it keeps a stale table from replanning the same
+            # pair.  The node counts steal:batches/tasks when the batch
+            # actually moves, so master-side metrics stay honest.
+            low[0] += amount
+            high[0] -= amount
+            by_id[high[1]].workload = max(0, by_id[high[1]].workload - amount)
+        self._last_steal_pairs = frozenset(pairs)
+
+    def _termination_hint(self) -> bool:
+        """True when the pushed table *suggests* global quiescence.
+
+        Only a hint: pushed statuses are from different instants, so the
+        caller always confirms with two synchronous legacy sweeps (the
+        authoritative Safra double snapshot) before stopping.
+        """
+        table = self._status_table
+        if table is None or any(s is None for s in table):
+            return False
+        return self._statuses_idle([s for s in table if s is not None])
+
+    def _run_async(self) -> List[NodeFinal]:
+        """Event-driven master loop (``control_plane='async'``).
+
+        Per iteration: drain pushed events (blocking only until the
+        first message or the next broadcast deadline), replan steals
+        when the table changed, broadcast the aggregate at the sync
+        cadence without waiting for replies, and — only when the pushed
+        table hints at quiescence — run the legacy double-sweep
+        termination proof.  Checkpoints reuse the synchronous barrier
+        verbatim.
+        """
+        period = self.config.aggregator_sync_period_s
+        n = self.num_nodes
+        self._status_table = [None] * n
+        self._status_heard = [time.monotonic()] * n
+        self._status_dirty = False
+        self._pending_wake = False
+        self._last_steal_key = None
+        sweeps = 0
+        next_sync = time.monotonic()  # first broadcast immediately
+        try:
+            while True:
+                if self.abort is not None:
+                    self.abort.raise_if_set()
+                now = time.monotonic()
+                if now > self._deadline:
+                    raise GThinkerError(f"job exceeded {self.join_timeout_s}s")
+                if now >= next_sync:
+                    t0 = time.perf_counter()
+                    value = self.global_aggregator.value
+                    for nid in range(n):
+                        self._send(nid, ("asweep", value))
+                    self.metrics.add("time:master_sweep_s",
+                                     time.perf_counter() - t0)
+                    sweeps += 1
+                    next_sync = now + period
+                    every = self.config.checkpoint_every_syncs
+                    if every > 0 and sweeps % every == 0:
+                        self._checkpoint()
+                    if (self.abort_after_rounds is not None
+                            and sweeps >= self.abort_after_rounds):
+                        raise JobAbortedError(
+                            f"job aborted after {sweeps} sync sweeps"
+                        )
+                # Every asweep elicits a status reply, so a node that
+                # stays silent for a full reply timeout is dead or hung.
+                stale = time.monotonic() - self.config.control_reply_timeout_s
+                for nid in range(n):
+                    if self._status_heard[nid] < stale:
+                        raise WorkerProcessError(
+                            nid,
+                            "no status heard for "
+                            f"{self.config.control_reply_timeout_s}s",
+                            recoverable=True,
+                        )
+                wait = max(0.0, min(next_sync - time.monotonic(), 0.25))
+                t0 = time.perf_counter()
+                self._drain_events(wait)
+                self.metrics.add("time:control_idle_s",
+                                 time.perf_counter() - t0)
+                self._pending_wake = False
+                if self._status_dirty:
+                    self._status_dirty = False
+                    self._plan_steals_async()
+                    if self._termination_hint():
+                        # Confirm with the authoritative synchronous
+                        # double snapshot; pushed statuses interleaved
+                        # with the sweep replies are routed by _recv.
+                        first = self._sweep()
+                        if self._statuses_idle(first):
+                            second = self._sweep()
+                            if (self._statuses_idle(second)
+                                    and sum(s.progress for s in first)
+                                    == sum(s.progress for s in second)):
+                                break
+                        self._last_steal_key = None
+        finally:
+            self._status_table = None
+            self._status_heard = None
+        return self._finalize()
 
     def run(self) -> List[NodeFinal]:
         """Drive the job to completion, recovering lost nodes."""
         self._deadline = time.monotonic() + self.join_timeout_s
+        runner = (
+            self._run_async
+            if self.config.control_plane == "async"
+            else self._run_to_completion
+        )
         attempts = 0
         while True:
             try:
-                return self._run_to_completion()
+                return runner()
             except WorkerProcessError as exc:
                 attempts += 1
                 if not exc.recoverable or attempts > self.config.max_worker_restarts:

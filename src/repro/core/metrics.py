@@ -19,6 +19,7 @@ __all__ = [
     "MetricsRegistry",
     "WorkerMemoryModel",
     "CacheStats",
+    "ControlPlaneStats",
     "WorkerMetrics",
     "MetricsAccessors",
 ]
@@ -117,6 +118,26 @@ class CacheStats:
 
 
 @dataclass(frozen=True)
+class ControlPlaneStats:
+    """Typed view of the control-plane counters in a metrics snapshot.
+
+    ``master_sweep_s`` is the master's time inside sweep/broadcast
+    protocol work; ``control_idle_s`` its time blocked waiting for
+    control events.  ``status_pushes`` counts node-pushed status deltas
+    consumed by the master (async mode), ``direct_steal_batches`` the
+    worker-to-worker ``dsteal`` batch transfers that bypassed the
+    master, and ``steal_plan_skipped`` the memoized steal-plan rounds
+    skipped because no workload estimate changed.
+    """
+
+    status_pushes: int
+    direct_steal_batches: int
+    steal_plan_skipped: int
+    master_sweep_s: float
+    control_idle_s: float
+
+
+@dataclass(frozen=True)
 class WorkerMetrics:
     """Typed view of one worker's slice of a metrics snapshot."""
 
@@ -156,6 +177,17 @@ class MetricsAccessors:
             misses_duplicate=int(m.get("cache:miss_duplicate", 0)),
             responses=int(m.get("cache:responses", 0)),
             evictions=int(m.get("cache:evictions", 0)),
+        )
+
+    @property
+    def control_plane_stats(self) -> ControlPlaneStats:
+        m = self.metrics
+        return ControlPlaneStats(
+            status_pushes=int(m.get("control:status_pushes", 0)),
+            direct_steal_batches=int(m.get("steal:direct_batches", 0)),
+            steal_plan_skipped=int(m.get("control:steal_plan_skipped", 0)),
+            master_sweep_s=float(m.get("time:master_sweep_s", 0.0)),
+            control_idle_s=float(m.get("time:control_idle_s", 0.0)),
         )
 
     def worker_metrics(self, worker_id: int) -> WorkerMetrics:

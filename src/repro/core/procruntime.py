@@ -185,20 +185,15 @@ def _worker_main(
         if global_value is not None:
             worker.aggregator.publish_global(global_value)
         injector = FailureInjector(config.failure_plan, worker_id, incarnation)
-        session = NodeSession(worker, transport, injector, metrics)
+        session = NodeSession(worker, transport, injector, metrics, config)
 
         # Adaptive idle wait: back off exponentially while nothing
         # happens, waking promptly on either a control command or an
         # incoming data-queue message (selected together via
-        # multiprocessing.connection.wait).  On the transition into a
-        # fully drained state, send an unsolicited ("wake", wid) so the
-        # parent runs its termination sweeps immediately instead of a
-        # sync period later.
-        own_queue = data_queues[worker_id]
-        queue_reader = getattr(own_queue, "_reader", None)
-        wait_on = [conn] if queue_reader is None else [conn, queue_reader]
+        # multiprocessing.connection.wait).  Unsolicited notifications —
+        # the drained-edge ("wake", wid) in sweep mode, pushed status
+        # deltas in async mode — come from session.pending_pushes().
         backoff = config.idle_sleep_s
-        was_drained = False
 
         while True:
             worked = session.step()
@@ -209,16 +204,14 @@ def _worker_main(
                 if session.done:
                     return
 
+            for push in session.pending_pushes():
+                conn.send(push)
+
             if worked:
                 backoff = config.idle_sleep_s
-                was_drained = False
             else:
-                drained = session.drained()
-                if drained and not was_drained:
-                    conn.send(("wake", worker_id))
-                was_drained = drained
                 # Block until a command or data arrives, up to backoff.
-                mp_connection.wait(wait_on, timeout=backoff)
+                transport.wait_for_activity(backoff, extra=(conn,))
                 backoff = min(backoff * 2, config.idle_backoff_max_s)
     except BaseException as exc:
         try:
@@ -387,9 +380,10 @@ class _ProcessMaster(ControlPlaneMaster):
             raise WorkerProcessError(
                 wid, f"{exc_type} raised:\n{tb}", recoverable=False
             )
-        if isinstance(msg, tuple) and msg and msg[0] == "wake":
-            # Unsolicited idle notification racing a request-reply
-            # exchange; the reply we are waiting for is still behind it.
+        if self._note_oob(worker_id, msg):
+            # Unsolicited notification (wake or pushed status) racing a
+            # request-reply exchange; the reply we are waiting for is
+            # still behind it.
             return self._recv(worker_id, timeout)
         return msg
 
@@ -420,20 +414,22 @@ class _ProcessMaster(ControlPlaneMaster):
                 recoverable=True,
             ) from exc
 
-    def _wait_for_wake(self, timeout: float) -> bool:
-        """Sleep up to ``timeout``, returning early (True) on a worker's
-        unsolicited ``("wake", wid)`` idle notification.
+    def _drain_events(self, timeout: float) -> None:
+        """Multiplexed control-event drain over every worker's pipe.
 
-        Anything else arriving out of band is an error report (raised
-        here) or a pipe closure (raised as a recoverable loss).  Real
-        protocol replies cannot appear: the control plane is strictly
-        request-reply outside this window.
+        Blocks up to ``timeout`` for the *first* message, then consumes
+        everything already buffered.  Out-of-band messages (wakes,
+        pushed statuses) route through ``_note_oob``; anything else is
+        an error report (raised final) or a pipe closure/dead process
+        (raised as a recoverable loss).  Real protocol replies cannot
+        appear: the control plane is strictly request-reply outside
+        this window.
         """
         try:
             ready = mp_connection.wait(self.conns, timeout=timeout)
-        except OSError:  # a pipe died mid-wait; the next sweep reports it
-            return True
-        woke = False
+        except OSError:  # a pipe died mid-wait; the next op reports it
+            self._pending_wake = True
+            return
         for conn in ready:
             wid = self.conns.index(conn)
             if not self.procs[wid].is_alive() and not conn.poll(0):
@@ -443,21 +439,25 @@ class _ProcessMaster(ControlPlaneMaster):
                     f"without reporting an error",
                     recoverable=True,
                 )
-            try:
-                msg = conn.recv()
-            except (EOFError, OSError) as exc:
-                raise WorkerProcessError(
-                    wid, "control pipe closed while idle",
-                    recoverable=True,
-                ) from exc
-            if isinstance(msg, tuple) and msg and msg[0] == "error":
-                _tag, ewid, exc_type, tb = msg
-                raise WorkerProcessError(
-                    ewid, f"{exc_type} raised:\n{tb}", recoverable=False
-                )
-            if isinstance(msg, tuple) and msg and msg[0] == "wake":
-                woke = True
-        return woke
+            while conn.poll(0):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerProcessError(
+                        wid, "control pipe closed while idle",
+                        recoverable=True,
+                    ) from exc
+                if isinstance(msg, tuple) and msg and msg[0] == "error":
+                    _tag, ewid, exc_type, tb = msg
+                    raise WorkerProcessError(
+                        ewid, f"{exc_type} raised:\n{tb}", recoverable=False
+                    )
+                if not self._note_oob(wid, msg):
+                    raise WorkerProcessError(
+                        wid,
+                        "unexpected out-of-band control message "
+                        f"{type(msg).__name__}",
+                    )
 
 
 # ---------------------------------------------------------------------------

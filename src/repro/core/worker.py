@@ -403,5 +403,17 @@ class Worker:
         """Steal-planning signal: batches on disk + unspawned vertices."""
         return self.l_file.num_tasks_on_disk() + self.unspawned_count()
 
+    def flush_for_status(self) -> None:
+        """Make node-local counters exact before a status report.
+
+        Called from the control-plane serve loop (the only
+        cache-mutating thread) before every status/final report, so
+        ``s_cache``, the lock-acquisition metrics, and the memory gauge
+        are current whenever the master reads them.
+        """
+        self.cache.flush_local_counter()
+        self.cache.commit_lock_metrics()
+        self.update_memory_gauge()
+
     def cleanup(self) -> None:
         self.l_file.cleanup()

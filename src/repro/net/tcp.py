@@ -39,7 +39,7 @@ import selectors
 import socket
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import parse_host_port
 from ..core.errors import GThinkerError, WireDecodeError
@@ -264,6 +264,31 @@ class ControlChannel:
             raise WireDecodeError(
                 f"cannot unpickle control frame: {exc!r}"
             ) from exc
+
+    def drain_nowait(self) -> List[Any]:
+        """Decode every already-buffered frame without blocking.
+
+        The master's multiplexed event drain: one non-blocking socket
+        pump, then every complete frame is unpickled and returned in
+        arrival order.  Raises :class:`ChannelClosed` when the peer is
+        gone and nothing was decoded (a silently-dead node must surface
+        now, not after a reply timeout), and :class:`WireDecodeError`
+        on a corrupt frame.
+        """
+        if not self._closed:
+            self._pump()
+        out: List[Any] = []
+        while self._frames:
+            raw = self._frames.popleft()
+            try:
+                out.append(pickle.loads(raw))
+            except Exception as exc:
+                raise WireDecodeError(
+                    f"cannot unpickle control frame: {exc!r}"
+                ) from exc
+        if not out and self._closed:
+            raise ChannelClosed("control peer closed the connection")
+        return out
 
 
 def selectors_wait_writable(sock: socket.socket, timeout: float) -> None:

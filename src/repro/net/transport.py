@@ -24,6 +24,7 @@ Two implementations of one polling contract (``send`` / ``poll`` /
 
 from __future__ import annotations
 
+import multiprocessing.connection as mp_connection
 import pickle
 import queue as queue_mod
 import threading
@@ -234,6 +235,29 @@ class ProcessTransport:
     def pending_unflushed(self) -> int:
         """Messages buffered but not yet handed to a queue."""
         return sum(len(b) for b in self._buffers)
+
+    def wait_for_activity(self, timeout: float, extra: Sequence = ()) -> bool:
+        """Block up to ``timeout`` for inbox data or ``extra`` readables.
+
+        The idle-wait primitive of the process worker's serve loop,
+        mirroring :meth:`repro.net.tcp.TcpTransport.wait_for_activity`:
+        ``extra`` carries the control pipe so one wait covers both
+        planes.  Returns immediately when parked overflow messages are
+        already deliverable.  Waking is best-effort — a spurious return
+        just costs one serve-loop iteration.
+        """
+        if self._overflow:
+            return True
+        wait_on = list(extra)
+        reader = getattr(self._queues[self._worker_id], "_reader", None)
+        if reader is not None:
+            wait_on.append(reader)
+        if not wait_on:
+            return False
+        try:
+            return bool(mp_connection.wait(wait_on, timeout=timeout))
+        except OSError:
+            return True
 
     def poll(self, worker_id: int, now: float = float("inf"), limit: int = 0) -> List[Message]:
         """Drain this worker's inbox (non-blocking); flushes first."""

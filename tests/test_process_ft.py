@@ -253,25 +253,41 @@ def _skewed_graph(heavy_worker, num_workers=2):
     return Graph.from_edges(edges, extra_vertices=ids)
 
 
-def _matrix_cfg(plan):
+def _matrix_cfg(plan, **kw):
     return cfg(num_workers=2, task_batch_size=1, decompose_threshold=4,
-               checkpoint_every_syncs=1, failure_plan=plan)
+               checkpoint_every_syncs=1, failure_plan=plan, **kw)
 
 
 @pytest.mark.faultmatrix
+@pytest.mark.parametrize("control_plane", ["sweep", "async"])
 @pytest.mark.parametrize("victim", [0, 1])
 @pytest.mark.parametrize("event,at_count", [
     ("spawn", 3),   # 3rd round observing a partially advanced cursor
     ("spill", 1),   # 1st round observing a spilled batch in L_file
     ("steal", 1),   # on receiving the 1st steal command
 ])
-def test_kill_matrix_matches_oracle(event, at_count, victim):
+def test_kill_matrix_matches_oracle(event, at_count, victim, control_plane):
+    # Both control planes run the full matrix: the async mode fires the
+    # same injector events ("sync" on the asweep broadcast, "steal" on
+    # the fire-and-forget dsteal command), so each kill point is
+    # exercised under push-based coordination too.  The spawn/spill rows
+    # run with stealing off and pops fully gated on pending work
+    # (pending_threshold=0): those kill points trigger on *local* queue
+    # pressure, and the async plane's lower pull latency (early direct
+    # steals, more frequent status flushes) otherwise drains Q_task fast
+    # enough that the victim may never spill, leaving the plan unfired
+    # (stealing has its own dedicated rows).
     graph = _skewed_graph(victim) if event == "steal" else _spill_graph()
     plan = FailurePlanConfig(kill_worker=victim, when=event,
                              at_count=at_count)
-    res = run_job(MaxCliqueComper, graph, _matrix_cfg(plan),
-                  runtime="process")
+    if event == "steal":
+        config = _matrix_cfg(plan, control_plane=control_plane)
+    else:
+        config = _matrix_cfg(plan, control_plane=control_plane,
+                             steal_enabled=False, pending_threshold=0)
+    res = run_job(MaxCliqueComper, graph, config, runtime="process")
     _assert_is_max_clique(graph, res.aggregate)
     assert res.metrics.get("ft:recoveries", 0) >= 1, (
-        f"kill plan ({event}, worker {victim}) never fired - vacuous row"
+        f"kill plan ({event}, worker {victim}, {control_plane}) never "
+        f"fired - vacuous row"
     )
